@@ -1,0 +1,66 @@
+"""Design-choice ablations called out in DESIGN.md Section 5.
+
+* **Eager/rendezvous threshold** — dropping the threshold forces the
+  RTS/CTS handshake onto medium messages and must cost latency.
+* **Hybrid tuning table vs a fixed configuration** — the tuned selector
+  must match or beat a fixed 16-leader DPML across the size range
+  (16 leaders lose at small sizes; the table fixes that).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.harness import allreduce_latency
+from repro.machine.clusters import cluster_b
+
+
+@pytest.mark.parametrize("size", [32768, 131072])
+def test_eager_threshold_ablation(benchmark, size):
+    base = cluster_b(8)
+    config_eager = dataclasses.replace(
+        base, fabric=dataclasses.replace(base.fabric, eager_threshold=1 << 22)
+    )
+    config_rndv = dataclasses.replace(
+        base, fabric=dataclasses.replace(base.fabric, eager_threshold=0)
+    )
+
+    def measure():
+        eager = allreduce_latency(
+            config_eager, "recursive_doubling", size, ppn=8, iterations=2
+        )
+        rndv = allreduce_latency(
+            config_rndv, "recursive_doubling", size, ppn=8, iterations=2
+        )
+        return eager, rndv
+
+    eager, rndv = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["eager_us"] = eager * 1e6
+    benchmark.extra_info["rndv_us"] = rndv * 1e6
+    # The handshake adds round trips: rendezvous-everywhere is slower.
+    assert rndv > eager
+
+
+def test_tuned_selector_vs_fixed_leaders(benchmark):
+    config = cluster_b(16)
+    sizes = [64, 1024, 65536, 524288]
+
+    def measure():
+        out = {}
+        for size in sizes:
+            fixed = allreduce_latency(
+                config, "dpml", size, ppn=28, iterations=2, leaders=16
+            )
+            tuned = allreduce_latency(
+                config, "dpml_tuned", size, ppn=28, iterations=2
+            )
+            out[size] = (fixed, tuned)
+        return out
+
+    data = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # Tuned never loses badly anywhere ...
+    for size, (fixed, tuned) in data.items():
+        assert tuned <= fixed * 1.10, f"tuned selector regressed at {size}B"
+    # ... and wins clearly at small sizes where 16 leaders are wrong.
+    fixed_small, tuned_small = data[64]
+    assert tuned_small < fixed_small

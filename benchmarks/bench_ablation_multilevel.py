@@ -1,0 +1,40 @@
+"""Ablation: flat DPML vs a deeper (socket-level) hierarchy.
+
+Section 3: "shallow hierarchies with small depth and large number of
+children per parent would be better than deeper hierarchies with small
+number of children" — because shared memory sustains many concurrent
+copies, an extra tree level only adds synchronisation and copy cost.
+We implement the deeper variant (``dpml_multilevel``) and verify flat
+DPML wins across the message-size range.
+"""
+
+import pytest
+
+from repro.bench.harness import allreduce_latency
+from repro.machine.clusters import cluster_b
+
+SIZES = [1024, 65536, 524288]
+
+
+def test_flat_dpml_beats_two_level_hierarchy(benchmark):
+    config = cluster_b(8)
+
+    def measure():
+        out = {}
+        for size in SIZES:
+            flat = allreduce_latency(
+                config, "dpml", size, ppn=28, leaders=8, iterations=2
+            )
+            deep = allreduce_latency(
+                config, "dpml_multilevel", size, ppn=28, leaders=8, iterations=2
+            )
+            out[size] = (flat, deep)
+        return out
+
+    data = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for size, (flat, deep) in data.items():
+        benchmark.extra_info[f"flat_{size}"] = flat * 1e6
+        benchmark.extra_info[f"deep_{size}"] = deep * 1e6
+        assert flat < deep, (
+            f"the deeper hierarchy won at {size}B — contradicts Section 3"
+        )

@@ -1,0 +1,52 @@
+"""Figure 1: relative throughput of concurrent communicating pairs.
+
+Paper observations reproduced here:
+
+* (a) intra-node shared memory scales almost linearly with pairs at
+  every size;
+* (b) InfiniBand throughput grows with pairs *at all message sizes*;
+* (c) Omni-Path shows three zones — message-rate-bound (A, scales),
+  transition (B), bandwidth-bound (C, does not scale);
+* (d) the same zones on KNL with more, slower cores.
+"""
+
+from repro.bench.figures import fig1_throughput
+
+
+def _rel(result, size, pairs):
+    return result.meta["data"][size][pairs]
+
+
+def test_fig1a_intra_node_scales_linearly(run_figure):
+    result = run_figure(fig1_throughput, "a")
+    # Near-linear scaling: 14 pairs get at least 10x one pair, everywhere.
+    for size in (64, 16384, 1048576):
+        assert _rel(result, size, 14) >= 10.0
+        assert _rel(result, size, 2) >= 1.7
+
+
+def test_fig1b_infiniband_scales_at_all_sizes(run_figure):
+    result = run_figure(fig1_throughput, "b")
+    # Concurrency helps small AND large messages on IB (Section 3).
+    assert _rel(result, 64, 14) >= 10.0
+    assert _rel(result, 1048576, 14) >= 6.0
+    # ... and is monotone in the pair count.
+    for size in (64, 1048576):
+        series = [_rel(result, size, p) for p in (2, 4, 8, 14)]
+        assert series == sorted(series)
+
+
+def test_fig1c_omnipath_zones(run_figure):
+    result = run_figure(fig1_throughput, "c")
+    # Zone A: small messages scale with concurrency.
+    assert _rel(result, 64, 14) >= 10.0
+    # Zone B: medium messages scale partially.
+    assert 2.0 <= _rel(result, 16384, 14) <= 10.0
+    # Zone C: large messages do not benefit from concurrency.
+    assert _rel(result, 1048576, 14) <= 1.6
+
+
+def test_fig1d_omnipath_knl_zones(run_figure):
+    result = run_figure(fig1_throughput, "d")
+    assert _rel(result, 64, 32) >= 24.0  # Zone A with even more procs
+    assert _rel(result, 1048576, 32) <= 2.0  # Zone C flat

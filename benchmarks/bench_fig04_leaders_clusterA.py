@@ -1,0 +1,24 @@
+"""Figure 4: impact of the number of leaders, Cluster A (Xeon + IB).
+
+Paper: 448 processes (16 nodes x 28 ppn).  This figure already runs at
+the paper's scale.  Reproduced shape: more leaders help medium/large
+messages (multi-x for >= 64 KB) and do not help tiny ones.
+"""
+
+from repro.bench.figures import fig4_to_7_leaders
+
+SIZES = [1024, 8192, 65536, 524288]
+
+
+def test_fig4_leader_impact_cluster_a(run_figure):
+    result = run_figure(fig4_to_7_leaders, "fig4", sizes=SIZES)
+    data = result.meta["data"]
+    # Large messages: 16 leaders beat 1 leader by >= 3x.
+    assert data[524288][1] / data[524288][16] >= 3.0
+    # Medium messages: clear multi-leader win.
+    assert data[65536][1] / data[65536][16] >= 2.0
+    # Small messages: no 16-leader win (paper: "sometimes causes slight
+    # degradation").
+    assert data[1024][16] >= 0.8 * data[1024][1]
+    # Monotone improvement from 1 -> 4 leaders for large messages.
+    assert data[524288][1] > data[524288][2] > data[524288][4]

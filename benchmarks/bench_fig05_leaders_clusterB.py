@@ -1,0 +1,24 @@
+"""Figure 5: impact of the number of leaders, Cluster B (Xeon + IB).
+
+Paper: 1,792 processes (64 nodes x 28 ppn); headline from Section 6.2:
+"with 512KB message size, Cluster B shows 4.9 times lower latency with
+16 leaders compared to single leader per node".  Reduced scale runs 16
+nodes; set REPRO_PAPER_SCALE=1 for 64.
+"""
+
+from repro.bench.figures import fig4_to_7_leaders, paper_scale
+
+SIZES = [1024, 8192, 65536, 524288]
+
+
+def test_fig5_leader_impact_cluster_b(run_figure):
+    result = run_figure(fig4_to_7_leaders, "fig5", sizes=SIZES)
+    data = result.meta["data"]
+    ratio_512k = data[524288][1] / data[524288][16]
+    # Section 6.2 headline: ~4.9x at paper scale; >= 3x at 16 nodes.
+    assert ratio_512k >= (4.0 if paper_scale() else 3.0)
+    assert data[8192][1] / data[8192][16] >= 1.5
+    assert data[1024][16] >= 0.8 * data[1024][1]
+    # Best leader count is non-decreasing in message size.
+    bests = [min(data[s], key=data[s].get) for s in SIZES]
+    assert bests == sorted(bests)

@@ -1,0 +1,22 @@
+"""Figure 6: impact of the number of leaders, Cluster C (Xeon + OPA).
+
+Paper: 1,792 processes (64 nodes x 28 ppn); Section 6.2: "Cluster C
+shows 4.3 times lower latency with 16 leaders" at 512 KB.  On
+Omni-Path the multi-leader win additionally rides the Zone-A/B message
+rate (Section 4.2).
+"""
+
+from repro.bench.figures import fig4_to_7_leaders, paper_scale
+
+SIZES = [1024, 8192, 65536, 524288]
+
+
+def test_fig6_leader_impact_cluster_c(run_figure):
+    result = run_figure(fig4_to_7_leaders, "fig6", sizes=SIZES)
+    data = result.meta["data"]
+    ratio_512k = data[524288][1] / data[524288][16]
+    assert ratio_512k >= (3.5 if paper_scale() else 2.8)
+    # Paper Section 6.4: 16 leaders already best at 8KB on Cluster C.
+    best_8k = min(data[8192], key=data[8192].get)
+    assert best_8k >= 8
+    assert data[1024][16] >= 0.8 * data[1024][1]

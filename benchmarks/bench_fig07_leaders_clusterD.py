@@ -1,0 +1,22 @@
+"""Figure 7: impact of the number of leaders, Cluster D (KNL + OPA).
+
+Paper: 1,024 processes (32 nodes x 32 ppn).  KNL's slow cores make the
+single-leader compute bottleneck the worst of all clusters, so the
+multi-leader win appears at smaller sizes and is the largest.
+"""
+
+from repro.bench.figures import fig4_to_7_leaders
+
+SIZES = [1024, 8192, 65536, 524288]
+
+
+def test_fig7_leader_impact_cluster_d(run_figure):
+    result = run_figure(fig4_to_7_leaders, "fig7", sizes=SIZES)
+    data = result.meta["data"]
+    # Slow cores: the 512KB multi-leader win is big on KNL.
+    assert data[524288][1] / data[524288][16] >= 3.0
+    # 16 leaders already best by 8KB (Section 6.4).
+    assert min(data[8192], key=data[8192].get) >= 8
+    # The multi-leader advantage at 64KB exceeds Cluster B's (KNL cores
+    # are ~3x slower at combining).
+    assert data[65536][1] / data[65536][16] >= 2.5

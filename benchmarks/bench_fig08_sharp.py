@@ -1,0 +1,48 @@
+"""Figure 8: SHArP-based designs vs the host-based scheme (Cluster A).
+
+Paper observations reproduced:
+
+* SHArP wins clearly for tiny messages (up to ~2.5x at 1 ppn);
+* the benefit fades by ~2 KB and the host-based design wins at 4 KB;
+* with many processes per node the socket-level leader beats the
+  node-level leader (it avoids inter-socket gather traffic);
+* at 1 ppn both designs coincide.
+"""
+
+from repro.bench.figures import fig8_sharp
+
+SIZES = [8, 256, 2048, 4096]
+
+
+def test_fig8_sharp_full_subscription(run_figure):
+    result = run_figure(fig8_sharp, ppn=28, sizes=SIZES)
+    data = result.meta["data"]
+    host = {s: data[s]["mvapich2"] for s in SIZES}
+    node = {s: data[s]["sharp_node_leader"] for s in SIZES}
+    sock = {s: data[s]["sharp_socket_leader"] for s in SIZES}
+    # Tiny messages: SHArP wins significantly.
+    assert host[8] / node[8] >= 1.3
+    assert host[8] / sock[8] >= 1.7
+    # Socket-leader beats node-leader at full subscription, everywhere.
+    for s in SIZES:
+        assert sock[s] <= node[s]
+    # Crossover: host-based wins by 4 KB.
+    assert host[4096] <= node[4096]
+
+
+def test_fig8_sharp_single_process_per_node(run_figure):
+    result = run_figure(fig8_sharp, ppn=1, sizes=[8, 256, 4096])
+    data = result.meta["data"]
+    # Paper: "up to 2.5 times faster than the default host-based design".
+    assert data[256]["mvapich2"] / data[256]["sharp_node_leader"] >= 2.0
+    # The two designs are equivalent at 1 ppn.
+    for s in (8, 256, 4096):
+        assert data[s]["sharp_node_leader"] == data[s]["sharp_socket_leader"]
+
+
+def test_fig8_sharp_four_processes_per_node(run_figure):
+    result = run_figure(fig8_sharp, ppn=4, sizes=[8, 256])
+    data = result.meta["data"]
+    # Paper: node-leader up to 80% and socket-leader up to 100% faster.
+    assert data[256]["mvapich2"] / data[256]["sharp_node_leader"] >= 1.5
+    assert data[256]["mvapich2"] / data[256]["sharp_socket_leader"] >= 1.8

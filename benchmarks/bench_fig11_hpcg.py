@@ -1,0 +1,33 @@
+"""Figure 11(a): HPCG DDOT time with SHArP designs (Cluster A).
+
+HPCG's DDOT allreduces a single double per call — the tiny-message
+regime where the switch offload wins.  Reproduced shape: both SHArP
+designs beat the host-based scheme beyond a couple of nodes,
+socket-leader beats node-leader, and the host scheme's DDOT time grows
+with scale while SHArP's stays nearly flat.
+"""
+
+from repro.bench.figures import fig11a_hpcg
+
+
+def test_fig11a_hpcg_ddot(run_figure):
+    result = run_figure(fig11a_hpcg)
+    data = result.meta["data"]
+    for nranks in (224, 448):
+        host = data[nranks]["mvapich2"]
+        node = data[nranks]["sharp_node_leader"]
+        sock = data[nranks]["sharp_socket_leader"]
+        assert sock < host, f"socket-leader must win at {nranks} ranks"
+        assert node < host, f"node-leader must win at {nranks} ranks"
+        assert sock <= node, "socket-leader beats node-leader at 28 ppn"
+    # Improvement at 448 ranks is substantial (paper reports up to 35%).
+    gain = (data[448]["mvapich2"] - data[448]["sharp_socket_leader"]) / data[448][
+        "mvapich2"
+    ]
+    assert gain >= 0.25
+    # SHArP DDOT time stays nearly flat under weak scaling.
+    assert (
+        data[448]["sharp_socket_leader"] <= 1.2 * data[56]["sharp_socket_leader"]
+    )
+    # Host-based DDOT time grows with scale.
+    assert data[448]["mvapich2"] > 1.3 * data[56]["mvapich2"]

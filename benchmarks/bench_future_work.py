@@ -1,0 +1,99 @@
+"""Extension benches: DPML applied to other collectives (Section 8).
+
+The paper's future work proposes carrying the multi-leader data
+partitioning over to other blocking and non-blocking collectives.
+These benches measure the rooted reduce and broadcast variants built in
+:mod:`repro.core.dpml_reduce` / :mod:`repro.core.dpml_bcast` against
+the classic binomial trees, plus the non-blocking SHArP allreduce (the
+other future-work item), which composes for free out of ``icoll``.
+"""
+
+import pytest
+
+from repro.apps.osu import osu_collective_latency
+from repro.machine.clusters import cluster_a, cluster_b
+from repro.machine.machine import Machine
+from repro.mpi.runtime import Runtime
+from repro.payload import SUM, SymbolicPayload
+
+NRANKS, PPN, NODES = 128, 8, 16
+
+
+@pytest.mark.parametrize("kind", ["reduce", "bcast"])
+def test_dpml_rooted_collectives_beat_binomial_large(benchmark, kind):
+    config = cluster_b(NODES)
+
+    def measure():
+        classic = osu_collective_latency(
+            config, kind, 1 << 20, nranks=NRANKS, ppn=PPN,
+            algorithm="binomial", iterations=2,
+        )
+        dpml = osu_collective_latency(
+            config, kind, 1 << 20, nranks=NRANKS, ppn=PPN,
+            algorithm="dpml", iterations=2,
+        )
+        return classic, dpml
+
+    classic, dpml = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["classic_us"] = classic * 1e6
+    benchmark.extra_info["dpml_us"] = dpml * 1e6
+    # The multi-leader layout pays off for rooted collectives too.
+    assert dpml < classic / 1.5
+
+
+@pytest.mark.parametrize("kind", ["reduce", "bcast"])
+def test_dpml_rooted_collectives_small_messages_sane(benchmark, kind):
+    config = cluster_b(NODES)
+
+    def measure():
+        classic = osu_collective_latency(
+            config, kind, 64, nranks=NRANKS, ppn=PPN,
+            algorithm="binomial", iterations=2,
+        )
+        dpml = osu_collective_latency(
+            config, kind, 64, nranks=NRANKS, ppn=PPN,
+            algorithm="dpml", iterations=2,
+        )
+        return classic, dpml
+
+    classic, dpml = benchmark.pedantic(measure, rounds=1, iterations=1)
+    # No multi-leader win expected for 64B, but no blow-up either.
+    assert dpml < classic * 3.0
+
+
+def test_nonblocking_sharp_allreduce_overlaps(benchmark):
+    """Future work: non-blocking collectives with SHArP.
+
+    Issue a SHArP iallreduce, overlap host compute, wait — the total
+    must be less than the serial sum of the two, i.e. the switch does
+    its work while the host computes.
+    """
+    config = cluster_a(8)
+    nranks, ppn = 32, 4
+    compute_time = 30e-6
+
+    def run(overlap: bool):
+        def fn(comm):
+            payload = SymbolicPayload(64, 4)
+            t0 = comm.now
+            if overlap:
+                req = comm.iallreduce(payload, SUM, algorithm="sharp_node_leader")
+                yield comm.sim.timeout(compute_time)  # overlapped host work
+                yield from comm.wait(req)
+            else:
+                yield from comm.allreduce(payload, SUM, algorithm="sharp_node_leader")
+                yield comm.sim.timeout(compute_time)
+            return comm.now - t0
+
+        machine = Machine(config, nranks, ppn)
+        return max(Runtime(machine).launch(fn).values)
+
+    def measure():
+        return run(overlap=True), run(overlap=False)
+
+    overlapped, serial = benchmark.pedantic(measure, rounds=1, iterations=1)
+    benchmark.extra_info["overlapped_us"] = overlapped * 1e6
+    benchmark.extra_info["serial_us"] = serial * 1e6
+    assert overlapped < serial
+    # Most of the switch time hides behind the host compute.
+    assert overlapped < serial - 0.3 * (serial - compute_time)

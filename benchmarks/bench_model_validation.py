@@ -1,0 +1,35 @@
+"""Section 5: the analytical cost model vs the simulator.
+
+Equation 7 is contention-free (no NIC queues, no memory engine, no
+synchronisation flags) and its phase-2 term charges ``(ppn/l - 1)``
+combines where the implementation performs ``(ppn - 1)`` combines of
+``n/l`` bytes, so we validate *agreement of trends and magnitude*, not
+equality:
+
+* order-of-magnitude agreement for medium/large messages;
+* both predict that latency falls as leaders are added at 512 KB+;
+* both predict the single-leader configuration is compute-dominated.
+"""
+
+from repro.bench.figures import model_validation
+
+
+def test_model_tracks_simulation(run_figure):
+    result = run_figure(model_validation)
+    data = result.meta["data"]  # (size, leaders, model_t, sim_t)
+    for size, leaders, model_t, sim_t in data:
+        if size >= 131072:
+            ratio = sim_t / model_t
+            assert 0.3 <= ratio <= 4.0, (
+                f"model and simulation diverge at n={size}, l={leaders}: "
+                f"ratio={ratio:.2f}"
+            )
+    by_size: dict[int, dict[int, tuple[float, float]]] = {}
+    for size, leaders, model_t, sim_t in data:
+        by_size.setdefault(size, {})[leaders] = (model_t, sim_t)
+    # Both monotone decreasing in l for large messages.
+    for size in (131072, 1048576):
+        models = [by_size[size][l][0] for l in (1, 4, 16)]
+        sims = [by_size[size][l][1] for l in (1, 4, 16)]
+        assert models == sorted(models, reverse=True)
+        assert sims == sorted(sims, reverse=True)

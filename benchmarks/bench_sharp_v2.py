@@ -1,0 +1,66 @@
+"""Extension: SHArP v2 streaming aggregation vs host-based DPML.
+
+The paper evaluates SHArP v1, whose 256-byte operation payloads make
+host algorithms win beyond ~2 KB (Figure 8).  Its future work asks how
+the designs evolve with the technology; SHArP v2 ("streaming
+aggregation trees", shipped with HDR InfiniBand after the paper)
+removes the payload limit and streams through the switch ALUs at near
+line rate.  With ``SharpConfig(streaming=True)`` the same socket-leader
+design extends deep into the message range where the paper had to fall
+back to DPML — while DPML keeps the crown at the largest sizes, where
+the per-node gather of the full vector into one leader becomes the
+bottleneck the partitioned design avoids.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.bench.harness import allreduce_latency
+from repro.machine.clusters import cluster_a
+
+
+def _v2_config(nodes=16):
+    base = cluster_a(nodes)
+    return dataclasses.replace(
+        base, sharp=dataclasses.replace(base.sharp, streaming=True)
+    )
+
+
+def test_sharp_v2_extends_the_offload_range(benchmark):
+    v1 = cluster_a(16)
+    v2 = _v2_config(16)
+
+    def measure():
+        out = {}
+        for size in (2048, 65536, 1048576):
+            out[size] = {
+                "v1": allreduce_latency(
+                    v1, "sharp_socket_leader", size, ppn=28, iterations=2
+                ),
+                "v2": allreduce_latency(
+                    v2, "sharp_socket_leader", size, ppn=28, iterations=2
+                ),
+                "host": allreduce_latency(
+                    v1, "mvapich2", size, ppn=28, iterations=2
+                ),
+                "dpml": allreduce_latency(
+                    v1, "dpml", size, ppn=28, iterations=2, leaders=16
+                ),
+            }
+        return out
+
+    data = benchmark.pedantic(measure, rounds=1, iterations=1)
+    for size, row in data.items():
+        benchmark.extra_info[f"{size}B"] = {
+            k: round(v * 1e6, 1) for k, v in row.items()
+        }
+    # Streaming strictly improves on segmented v1 beyond the tiny range.
+    for size in (2048, 65536, 1048576):
+        assert data[size]["v2"] < data[size]["v1"]
+    # v2 beats the host-based scheme well past v1's 2-4KB crossover...
+    assert data[65536]["v2"] < data[65536]["host"]
+    # ...but at the largest sizes the partitioned multi-leader design
+    # still wins: one leader must gather/scatter the full vector for
+    # SHArP, while DPML splits that work l ways.
+    assert data[1048576]["dpml"] < data[1048576]["v2"]

@@ -1,0 +1,29 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark runs its figure once inside ``benchmark.pedantic``
+(the simulations are deterministic — repeated rounds would only
+re-measure the host machine), attaches the reproduced table to the
+benchmark's ``extra_info`` so it lands in the JSON output, prints it,
+and then asserts the qualitative shape the paper reports.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture
+def run_figure(benchmark, capsys):
+    """Run one FigureResult-producing callable under pytest-benchmark."""
+
+    def _run(fn, *args, **kwargs):
+        result = benchmark.pedantic(
+            lambda: fn(*args, **kwargs), rounds=1, iterations=1
+        )
+        benchmark.extra_info["figure"] = result.name
+        benchmark.extra_info["scale"] = result.meta.get("scale", "")
+        with capsys.disabled():
+            print("\n" + result.table + "\n")
+        return result
+
+    return _run

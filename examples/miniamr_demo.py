@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""miniAMR kernel demo (the paper's Section 6.6).
+
+Runs the adaptive-mesh-refinement loop on the two Omni-Path clusters
+and compares the mean mesh-refinement time under the three allreduce
+stacks, as in Figure 11(b,c).  Also demonstrates data mode, where the
+mesh agreement really happens through the simulated collectives.
+
+Run:  python examples/miniamr_demo.py
+"""
+
+from repro.apps.miniamr import run_miniamr
+from repro.machine.clusters import cluster_c, cluster_d
+
+
+def data_mode_demo() -> None:
+    print("data-mode refinement on 16 simulated ranks:")
+    res = run_miniamr(cluster_c(4), nranks=16, ppn=4, steps=5, data_mode=True)
+    print(
+        f"  {res.steps} refinement steps -> {res.final_blocks} global blocks, "
+        f"deepest level {res.max_level}\n"
+    )
+
+
+def refinement_comparison() -> None:
+    print("mean mesh-refinement time (ms), 6 refinement steps:")
+    header = f"{'cluster':>8} {'ranks':>6} {'mvapich2':>10} {'intel':>8} {'dpml':>8} {'gain':>6}"
+    print(header)
+    print("-" * len(header))
+    for label, cfg, ppn in (("C", cluster_c(8), 28), ("D", cluster_d(8), 32)):
+        times = {}
+        for alg in ("mvapich2", "intel_mpi", "dpml_tuned"):
+            res = run_miniamr(
+                cfg,
+                nranks=cfg.nodes * ppn,
+                ppn=ppn,
+                steps=4,
+                initial_blocks=48,
+                allreduce_algorithm=alg,
+            )
+            times[alg] = res.refine_time
+        gain = (min(times["mvapich2"], times["intel_mpi"]) - times["dpml_tuned"]) / min(
+            times["mvapich2"], times["intel_mpi"]
+        )
+        print(
+            f"{label:>8} {cfg.nodes * ppn:>6} {times['mvapich2'] * 1e3:>10.2f} "
+            f"{times['intel_mpi'] * 1e3:>8.2f} {times['dpml_tuned'] * 1e3:>8.2f} "
+            f"{gain:>6.0%}"
+        )
+    print("\n(miniAMR's refinement allreduces are medium/large -> DPML wins)")
+
+
+if __name__ == "__main__":
+    data_mode_demo()
+    refinement_comparison()

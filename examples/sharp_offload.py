@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""SHArP in-network reduction demo (the paper's Section 4.3 / Figure 8).
+
+Compares the host-based scheme against the SHArP node-level-leader and
+socket-level-leader designs on Cluster A, showing:
+
+* the ~2x win for tiny messages,
+* the crossover where segmenting kills SHArP (a few KB),
+* the growing socket-leader advantage as ppn rises (inter-socket
+  gathers get expensive), and
+* the limited-concurrency effect: many simultaneous SHArP operations
+  queue on the switch's few operation contexts.
+
+Run:  python examples/sharp_offload.py
+"""
+
+from repro.bench.harness import allreduce_latency
+from repro.bench.report import format_size, format_us
+from repro.machine.clusters import cluster_a
+from repro.machine.machine import Machine
+from repro.mpi.runtime import Runtime
+from repro.payload import SUM, SymbolicPayload
+
+NODES = 16
+
+
+def size_crossover() -> None:
+    config = cluster_a(NODES)
+    print(f"Cluster A, {NODES} nodes x 28 ppn — latency (us):")
+    header = f"{'size':>6} {'host':>8} {'node-leader':>12} {'socket-leader':>14}"
+    print(header)
+    print("-" * len(header))
+    for size in (4, 64, 512, 1024, 2048, 4096, 16384):
+        host = allreduce_latency(config, "mvapich2", size, ppn=28)
+        node = allreduce_latency(config, "sharp_node_leader", size, ppn=28)
+        sock = allreduce_latency(config, "sharp_socket_leader", size, ppn=28)
+        marker = "  <- host wins" if host < min(node, sock) else ""
+        print(
+            f"{format_size(size):>6} {format_us(host):>8} "
+            f"{format_us(node):>12} {format_us(sock):>14}{marker}"
+        )
+    print()
+
+
+def context_contention() -> None:
+    """Concurrent SHArP ops queue on the switch's operation contexts."""
+    config = cluster_a(8)
+    ppn = 8
+
+    def rank_fn(comm, concurrent):
+        payload = SymbolicPayload(64, 4)
+        t0 = comm.now
+        requests = [
+            comm.iallreduce(payload, SUM, algorithm="sharp_node_leader")
+            for _ in range(concurrent)
+        ]
+        yield from comm.waitall(requests)
+        return comm.now - t0
+
+    print("concurrent SHArP operations vs completion time (8 nodes x 8 ppn):")
+    for concurrent in (1, 2, 4, 8):
+        machine = Machine(config, 64, ppn)
+        job = Runtime(machine).launch(rank_fn, args=(concurrent,))
+        print(f"  {concurrent} outstanding ops -> {format_us(max(job.values))} us")
+    print(
+        "\nBeyond the switch's max_outstanding=2 contexts, operations"
+        " serialize — the paper's reason to keep SHArP leaders scarce."
+    )
+
+
+if __name__ == "__main__":
+    size_crossover()
+    context_contention()

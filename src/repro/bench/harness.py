@@ -1,0 +1,181 @@
+"""Single-measurement harness.
+
+Mirrors the OSU ``osu_allreduce`` methodology: warmup iterations, a
+barrier, a timed loop of blocking allreduces, and the average per-call
+latency reported from rank 0.  Payloads are symbolic by default (the
+simulated time is identical and the host-side numpy work is skipped);
+pass ``validate=True`` to carry real data and assert the result against
+the numpy reference on every rank.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Union
+
+import numpy as np
+
+from dataclasses import dataclass
+
+from repro.errors import ReproError
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.machine.noise import NoiseModel
+from repro.mpi.runtime import Runtime
+from repro.payload.ops import SUM, ReduceOp
+from repro.payload.payload import DataPayload, SymbolicPayload
+
+__all__ = ["allreduce_latency", "allreduce_latency_stats", "allreduce_sweep", "LatencyStats"]
+
+#: The paper's microbenchmarks use MPI_FLOAT.
+FLOAT_BYTES = 4
+
+
+def allreduce_latency(
+    config: MachineConfig,
+    algorithm: Optional[str],
+    nbytes: int,
+    *,
+    nranks: Optional[int] = None,
+    ppn: Optional[int] = None,
+    iterations: int = 3,
+    warmup: int = 1,
+    op: ReduceOp = SUM,
+    validate: bool = False,
+    trace: bool = False,
+    noise: Optional[NoiseModel] = None,
+    timeline=None,
+    **alg_kwargs,
+) -> float:
+    """Average per-call allreduce latency (seconds).
+
+    ``nbytes`` is the message size; the element count is
+    ``nbytes / 4`` (MPI_FLOAT), minimum one element.
+    """
+    if nranks is None:
+        if ppn is None:
+            raise ReproError("allreduce_latency needs nranks (and usually ppn)")
+        nranks = config.nodes * ppn
+    count = max(1, nbytes // FLOAT_BYTES)
+
+    def bench(comm):
+        if validate:
+            base = np.arange(count, dtype=np.float32) + float(comm.rank)
+            payload = DataPayload(base)
+        else:
+            payload = SymbolicPayload(count, FLOAT_BYTES)
+        for _ in range(warmup):
+            result = yield from comm.allreduce(
+                payload, op, algorithm=algorithm, **alg_kwargs
+            )
+        yield from comm.barrier()
+        t0 = comm.now
+        for _ in range(iterations):
+            result = yield from comm.allreduce(
+                payload, op, algorithm=algorithm, **alg_kwargs
+            )
+        elapsed = (comm.now - t0) / iterations
+        if validate:
+            expected = (
+                np.arange(count, dtype=np.float32) * comm.size
+                + sum(range(comm.size))
+            )
+            if not np.allclose(result.array, expected):
+                raise ReproError(
+                    f"allreduce validation failed on rank {comm.rank} "
+                    f"(algorithm={algorithm!r})"
+                )
+        return elapsed
+
+    machine = Machine(
+        config, nranks, ppn, trace=trace, noise=noise, timeline=timeline
+    )
+    job = Runtime(machine).launch(bench)
+    # The slowest rank's window is the collective's completion latency
+    # (matches how OSU reports max across ranks at scale).
+    return float(max(job.values))
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Latency distribution over repeated noisy runs."""
+
+    mean: float
+    std: float
+    min: float
+    max: float
+    samples: tuple[float, ...]
+
+    @property
+    def ci95(self) -> float:
+        """Half-width of the 95% confidence interval of the mean."""
+        n = len(self.samples)
+        if n < 2:
+            return 0.0
+        return 1.96 * self.std / n**0.5
+
+
+def allreduce_latency_stats(
+    config: MachineConfig,
+    algorithm: Optional[str],
+    nbytes: int,
+    *,
+    repeats: int = 5,
+    sigma: float = 0.05,
+    base_seed: int = 0,
+    **kwargs,
+) -> LatencyStats:
+    """Latency statistics over ``repeats`` jittered runs.
+
+    Mirrors the paper's methodology ("averages of a minimum of five
+    runs"): each repeat uses a different noise seed; ``sigma=0``
+    degenerates to ``repeats`` identical deterministic runs.
+    """
+    import numpy as np
+
+    if repeats < 1:
+        raise ReproError("allreduce_latency_stats needs repeats >= 1")
+    samples = tuple(
+        allreduce_latency(
+            config,
+            algorithm,
+            nbytes,
+            noise=NoiseModel(sigma=sigma, seed=base_seed + i),
+            **kwargs,
+        )
+        for i in range(repeats)
+    )
+    arr = np.asarray(samples)
+    return LatencyStats(
+        mean=float(arr.mean()),
+        std=float(arr.std(ddof=1)) if repeats > 1 else 0.0,
+        min=float(arr.min()),
+        max=float(arr.max()),
+        samples=samples,
+    )
+
+
+def allreduce_sweep(
+    config: MachineConfig,
+    algorithm: Optional[str],
+    sizes: Sequence[int],
+    *,
+    nranks: Optional[int] = None,
+    ppn: Optional[int] = None,
+    iterations: int = 3,
+    warmup: int = 1,
+    **kwargs,
+) -> dict[int, float]:
+    """Latency (seconds) per message size in ``sizes``."""
+    return {
+        size: allreduce_latency(
+            config,
+            algorithm,
+            size,
+            nranks=nranks,
+            ppn=ppn,
+            iterations=iterations,
+            warmup=warmup,
+            **kwargs,
+        )
+        for size in sizes
+    }

@@ -1,0 +1,64 @@
+"""Fixed-width table formatting for benchmark output.
+
+The figure regenerators print the same rows/series the paper plots;
+these helpers keep the output compact and diff-friendly (they are also
+what EXPERIMENTS.md embeds).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_size", "format_us", "speedup"]
+
+
+def format_size(nbytes: float) -> str:
+    """Human-readable message size (``4B``, ``16KB``, ``1MB``)."""
+    n = float(nbytes)
+    for unit, factor in (("MB", 1 << 20), ("KB", 1 << 10)):
+        if n >= factor and n % (factor // 1) == 0:
+            return f"{int(n // factor)}{unit}"
+        if n >= factor:
+            return f"{n / factor:.1f}{unit}"
+    return f"{int(n)}B"
+
+
+def format_us(seconds: float) -> str:
+    """Microseconds with sensible precision."""
+    us = seconds * 1e6
+    if us >= 1000:
+        return f"{us:,.0f}"
+    if us >= 10:
+        return f"{us:.1f}"
+    return f"{us:.2f}"
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """``baseline / improved`` (``> 1`` means ``improved`` wins)."""
+    if improved <= 0:
+        raise ZeroDivisionError("cannot compute speedup over zero time")
+    return baseline / improved
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Sequence[str],
+    *,
+    title: str = "",
+) -> str:
+    """Render ``rows`` (dicts) as a fixed-width text table."""
+    widths = {
+        col: max(len(col), *(len(str(r.get(col, ""))) for r in rows)) if rows else len(col)
+        for col in columns
+    }
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.rjust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row.get(col, "")).rjust(widths[col]) for col in columns)
+        )
+    return "\n".join(lines)

@@ -1,0 +1,64 @@
+"""Parameter sweeps used by the figure regenerators."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.bench.harness import allreduce_latency
+from repro.machine.config import MachineConfig
+
+__all__ = ["leader_sweep", "algorithm_sweep", "PAPER_SIZES", "SMALL_SIZES"]
+
+#: Message sizes (bytes) matching the paper's microbenchmark x-axes
+#: (512KB included: it carries the Section 6.2 headline numbers).
+PAPER_SIZES = [
+    4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 524288, 1048576,
+]
+
+#: The small-message range of Figure 8.
+SMALL_SIZES = [4, 16, 64, 256, 1024, 2048, 4096]
+
+
+def leader_sweep(
+    config: MachineConfig,
+    *,
+    ppn: int,
+    nodes: Optional[int] = None,
+    sizes: Sequence[int] = PAPER_SIZES,
+    leader_counts: Sequence[int] = (1, 2, 4, 8, 16),
+    iterations: int = 2,
+) -> dict[int, dict[int, float]]:
+    """Figures 4-7 data: ``{size: {leaders: latency}}``."""
+    cfg = config if nodes is None else config.with_nodes(nodes)
+    out: dict[int, dict[int, float]] = {}
+    for size in sizes:
+        out[size] = {
+            l: allreduce_latency(
+                cfg, "dpml", size, ppn=ppn, iterations=iterations, leaders=l
+            )
+            for l in leader_counts
+            if l <= ppn
+        }
+    return out
+
+
+def algorithm_sweep(
+    config: MachineConfig,
+    algorithms: Sequence[str],
+    *,
+    ppn: int,
+    nodes: Optional[int] = None,
+    sizes: Sequence[int] = PAPER_SIZES,
+    iterations: int = 2,
+) -> dict[int, dict[str, float]]:
+    """Figures 8-10 data: ``{size: {algorithm: latency}}``."""
+    cfg = config if nodes is None else config.with_nodes(nodes)
+    out: dict[int, dict[str, float]] = {}
+    for size in sizes:
+        out[size] = {
+            alg: allreduce_latency(
+                cfg, alg, size, ppn=ppn, iterations=iterations
+            )
+            for alg in algorithms
+        }
+    return out

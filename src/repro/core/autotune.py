@@ -1,0 +1,84 @@
+"""Empirical tuning-table generation (paper Section 6.4).
+
+"We performed empirical evaluation of different configurations on the
+four clusters and chose the best configuration for each message size."
+
+:func:`autotune_cluster` sweeps the candidate configurations (leader
+counts, plain vs pipelined DPML, SHArP designs where available) over a
+set of message sizes on the simulator and returns a tuning table in the
+format :data:`repro.core.tuning.TUNING_TABLES` uses.  The tables shipped
+there were produced by this sweep at 16 nodes full subscription; rerun
+with ``python -m repro.bench autotune --cluster c`` to regenerate.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from repro.core.tuning import TuningSpec
+from repro.machine.config import MachineConfig
+
+__all__ = ["autotune_cluster", "candidate_specs"]
+
+DEFAULT_SIZES = (64, 512, 2048, 8192, 32768, 131072, 524288, 2097152)
+DEFAULT_LEADER_COUNTS = (1, 2, 4, 8, 16)
+
+
+def candidate_specs(
+    config: MachineConfig,
+    leader_counts: Sequence[int] = DEFAULT_LEADER_COUNTS,
+    ppn: int = 28,
+) -> list[TuningSpec]:
+    """All configurations the empirical sweep considers."""
+    specs = [
+        TuningSpec("dpml", leaders=l) for l in leader_counts if l <= ppn
+    ]
+    specs += [
+        TuningSpec("dpml_pipelined", leaders=l)
+        for l in leader_counts
+        if l <= ppn and l >= 4
+    ]
+    if config.sharp is not None:
+        specs.append(TuningSpec("sharp_node_leader"))
+        specs.append(TuningSpec("sharp_socket_leader"))
+    return specs
+
+
+def autotune_cluster(
+    config: MachineConfig,
+    *,
+    ppn: int = 28,
+    sizes: Sequence[int] = DEFAULT_SIZES,
+    leader_counts: Sequence[int] = DEFAULT_LEADER_COUNTS,
+    iterations: int = 2,
+    verbose: bool = False,
+) -> list[tuple[float, TuningSpec]]:
+    """Measure every candidate at every size; return the best-per-size
+    table (``[(max_bytes, spec), ..., (inf, spec)]``)."""
+    from repro.bench.harness import allreduce_latency
+
+    specs = candidate_specs(config, leader_counts, ppn)
+    table: list[tuple[float, TuningSpec]] = []
+    for size in sizes:
+        best_spec = None
+        best_time = float("inf")
+        for spec in specs:
+            t = allreduce_latency(
+                config,
+                spec.algorithm,
+                size,
+                ppn=ppn,
+                iterations=iterations,
+                **spec.kwargs(),
+            )
+            if verbose:
+                print(f"  {size:>9}B {spec.algorithm:>20}(l={spec.leaders}) "
+                      f"{t * 1e6:10.2f} us")
+            if t < best_time:
+                best_time, best_spec = t, spec
+        table.append((float(size), best_spec))
+        if verbose:
+            print(f"{size:>9}B -> {best_spec}")
+    # The last row covers everything larger.
+    table[-1] = (float("inf"), table[-1][1])
+    return table

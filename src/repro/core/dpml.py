@@ -1,0 +1,122 @@
+"""Data Partitioning-based Multi-Leader allreduce (paper Section 4.1).
+
+The four phases, exactly as in Figure 2:
+
+1. **Local copy to shared memory** — every local rank splits its input
+   into ``l`` partitions and copies partition ``j`` into leader ``j``'s
+   shared-memory staging area (``l`` concurrent gathers).
+2. **Intra-node reduction by leaders** — leader ``j`` combines the
+   ``ppn`` deposited copies of partition ``j`` (``ppn - 1`` combines of
+   ``n / l`` bytes, running in parallel across leaders).
+3. **Inter-node allreduce by leaders** — leader ``j`` of every node
+   runs a purely inter-node allreduce of its partially reduced
+   partition with the leaders ``j`` of all other nodes (``l``
+   concurrent inter-node collectives of ``n / l`` bytes).  The
+   algorithm for this step is delegated to the registry (the paper
+   uses whatever the library picks for the size).
+4. **Local copy to individual processes** — every rank copies the ``l``
+   fully reduced partitions back out of shared memory and reassembles
+   the result.
+
+Setting ``leaders=1`` recovers the classic MVAPICH2-style single-leader
+hierarchical algorithm (registered as ``"hierarchical"``).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.leaders import get_leader_plan
+from repro.payload.ops import ReduceOp
+from repro.payload.payload import Payload, concat, reduce_payloads
+
+__all__ = ["allreduce_dpml", "allreduce_hierarchical"]
+
+
+def allreduce_dpml(
+    comm,
+    payload: Payload,
+    op: ReduceOp,
+    tag_base: int = 0,
+    leaders: int = 4,
+    inter_algorithm: Optional[str] = None,
+) -> Generator:
+    """DPML allreduce with ``leaders`` leaders per node.
+
+    ``inter_algorithm`` names the registry algorithm for phase 3
+    (``None`` lets the library selector choose by message size).
+    """
+    machine = comm.machine
+    plan = yield from get_leader_plan(comm, leaders)
+
+    if plan.n_nodes == comm.size:
+        # One rank per node: no intra-node phases; this is a purely
+        # inter-node allreduce (every rank is its own leader 0).  The
+        # fallback must be a *flat* algorithm — the general selector
+        # could pick a hierarchical scheme and recurse forever.
+        result = yield from comm.allreduce(
+            payload, op, algorithm=inter_algorithm or "flat_auto"
+        )
+        return result
+
+    ell = plan.leaders
+    me = comm.world_rank
+    region = comm.runtime.shm_region(plan.node)
+    ctx = comm.group.context
+    parts = payload.split(ell)
+    my_loc = machine.loc(me)
+    ppn = plan.ppn
+
+    # --- Phase 1: deposit each partition into its leader's staging area.
+    for j in range(ell):
+        leader_world = comm.translate(plan.node_ranks[j])
+        cross = machine.loc(leader_world).socket != my_loc.socket
+        yield from machine.shm_copy(me, parts[j].nbytes, cross_socket=cross)
+        region.put((ctx, tag_base, "in", j, plan.local_index), parts[j])
+
+    if plan.is_leader:
+        j = plan.leader_index
+        # --- Phase 2: gather the ppn deposits and combine them.
+        gathered = []
+        for i in range(ppn):
+            part = yield region.take((ctx, tag_base, "in", j, i))
+            gathered.append(part)
+        yield from machine.gather_sync(me, ppn)
+        part_bytes = gathered[0].nbytes
+        if ppn > 1:
+            yield from machine.compute(me, part_bytes, combines=ppn - 1)
+        reduced = reduce_payloads(gathered, op)
+
+        # --- Phase 3: inter-node allreduce among same-index leaders.
+        result_j = yield from plan.leader_comm.allreduce(
+            reduced, op, algorithm=inter_algorithm or "flat_auto"
+        )
+
+        # Publish the fully reduced partition for the local ranks.
+        region.put((ctx, tag_base, "out", j), result_j)
+
+    # --- Phase 4: copy every partition back out and reassemble.
+    yield from machine.flag_sync()
+    outs = []
+    for j in range(ell):
+        leader_world = comm.translate(plan.node_ranks[j])
+        cross = machine.loc(leader_world).socket != my_loc.socket
+        result_j = yield region.read((ctx, tag_base, "out", j), readers=ppn)
+        yield from machine.shm_copy(me, result_j.nbytes, cross_socket=cross)
+        outs.append(result_j)
+    return concat(outs)
+
+
+def allreduce_hierarchical(
+    comm,
+    payload: Payload,
+    op: ReduceOp,
+    tag_base: int = 0,
+    inter_algorithm: Optional[str] = None,
+) -> Generator:
+    """The traditional single-leader hierarchical allreduce (DPML, l=1)."""
+    result = yield from allreduce_dpml(
+        comm, payload, op, tag_base=tag_base, leaders=1,
+        inter_algorithm=inter_algorithm,
+    )
+    return result

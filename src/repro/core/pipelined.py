@@ -1,0 +1,113 @@
+"""DPML-Pipelined (paper Section 4.2).
+
+For very large messages on message-rate-bound fabrics (Omni-Path), the
+``n / l`` bytes a leader carries into phase 3 can still sit in the
+bandwidth-bound Zone C.  DPML-Pipelined splits each leader's partially
+reduced partition into ``k`` sub-partitions and issues ``k``
+*non-blocking* inter-node allreduces followed by a waitall, so the
+per-step compute and communication of consecutive sub-partitions
+overlap (the paper's Equation 5 gives the serialized cost; the benefit
+comes from the overlap the non-blocking calls expose).
+
+``k`` is "proportional to the message size and inversely related to the
+number of leaders": we take ``k = ceil(partition_bytes /
+pipeline_unit)`` capped at ``max_k``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.core.leaders import get_leader_plan
+from repro.payload.ops import ReduceOp
+from repro.payload.payload import Payload, concat, reduce_payloads
+
+__all__ = ["allreduce_dpml_pipelined", "pipeline_depth"]
+
+#: Default target size of one pipelined sub-partition (bytes).
+DEFAULT_PIPELINE_UNIT = 16384
+#: Safety cap on the number of outstanding sub-allreduces.
+DEFAULT_MAX_K = 16
+
+
+def pipeline_depth(
+    partition_bytes: int,
+    pipeline_unit: int = DEFAULT_PIPELINE_UNIT,
+    max_k: int = DEFAULT_MAX_K,
+) -> int:
+    """Number of sub-partitions ``k`` for one leader's partition."""
+    if partition_bytes <= 0:
+        return 1
+    k = -(-partition_bytes // pipeline_unit)
+    return max(1, min(k, max_k))
+
+
+def allreduce_dpml_pipelined(
+    comm,
+    payload: Payload,
+    op: ReduceOp,
+    tag_base: int = 0,
+    leaders: int = 4,
+    inter_algorithm: Optional[str] = None,
+    pipeline_unit: int = DEFAULT_PIPELINE_UNIT,
+    max_k: int = DEFAULT_MAX_K,
+) -> Generator:
+    """DPML with k-way pipelined non-blocking inter-node allreduces."""
+    machine = comm.machine
+    plan = yield from get_leader_plan(comm, leaders)
+    inter = inter_algorithm or "flat_auto"
+
+    if plan.n_nodes == comm.size:
+        # Purely inter-node: pipeline the whole vector directly.
+        k = pipeline_depth(payload.nbytes, pipeline_unit, max_k)
+        subs = payload.split(k)
+        requests = [comm.iallreduce(sub, op, algorithm=inter) for sub in subs]
+        results = yield from comm.waitall(requests)
+        return concat(results)
+
+    ell = plan.leaders
+    me = comm.world_rank
+    region = comm.runtime.shm_region(plan.node)
+    ctx = comm.group.context
+    parts = payload.split(ell)
+    my_loc = machine.loc(me)
+    ppn = plan.ppn
+
+    # Phases 1-2 are identical to plain DPML.
+    for j in range(ell):
+        leader_world = comm.translate(plan.node_ranks[j])
+        cross = machine.loc(leader_world).socket != my_loc.socket
+        yield from machine.shm_copy(me, parts[j].nbytes, cross_socket=cross)
+        region.put((ctx, tag_base, "in", j, plan.local_index), parts[j])
+
+    if plan.is_leader:
+        j = plan.leader_index
+        gathered = []
+        for i in range(ppn):
+            part = yield region.take((ctx, tag_base, "in", j, i))
+            gathered.append(part)
+        yield from machine.gather_sync(me, ppn)
+        part_bytes = gathered[0].nbytes
+        if ppn > 1:
+            yield from machine.compute(me, part_bytes, combines=ppn - 1)
+        reduced = reduce_payloads(gathered, op)
+
+        # Phase 3, pipelined: k outstanding sub-allreduces + waitall.
+        k = pipeline_depth(reduced.nbytes, pipeline_unit, max_k)
+        subs = reduced.split(k)
+        requests = [
+            plan.leader_comm.iallreduce(sub, op, algorithm=inter) for sub in subs
+        ]
+        results = yield from plan.leader_comm.waitall(requests)
+        region.put((ctx, tag_base, "out", j), concat(results))
+
+    # Phase 4: identical to plain DPML.
+    yield from machine.flag_sync()
+    outs = []
+    for j in range(ell):
+        leader_world = comm.translate(plan.node_ranks[j])
+        cross = machine.loc(leader_world).socket != my_loc.socket
+        result_j = yield region.read((ctx, tag_base, "out", j), readers=ppn)
+        yield from machine.shm_copy(me, result_j.nbytes, cross_socket=cross)
+        outs.append(result_j)
+    return concat(outs)

@@ -1,0 +1,57 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the simulator, the MPI runtime, or the collective
+implementations derives from :class:`ReproError` so callers can catch
+package failures with a single ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event kernel was used incorrectly or reached an
+    inconsistent state (e.g. deadlock with pending processes)."""
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while processes were still blocked.
+
+    This is the simulated equivalent of an MPI job hanging: some rank is
+    waiting for a message or a shared-memory flag that nobody will ever
+    produce.  The ``blocked`` attribute lists the stuck processes.
+    """
+
+    def __init__(self, message: str, blocked: list | None = None):
+        super().__init__(message)
+        self.blocked = list(blocked or [])
+
+
+class InterruptError(SimulationError):
+    """A waiting process was interrupted by another process."""
+
+    def __init__(self, cause: object = None):
+        super().__init__(f"process interrupted: {cause!r}")
+        self.cause = cause
+
+
+class MPIError(ReproError):
+    """Misuse of the MPI-like runtime (bad rank, mismatched collective,
+    invalid communicator operation, ...)."""
+
+
+class PayloadError(ReproError):
+    """Invalid payload operation (mixing incompatible payloads,
+    reducing different lengths, ...)."""
+
+
+class ConfigError(ReproError):
+    """Invalid machine/cluster/algorithm configuration."""
+
+
+class TuningError(ReproError):
+    """The tuning layer was asked for an unknown algorithm or an
+    impossible configuration."""

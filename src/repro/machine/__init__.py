@@ -1,0 +1,33 @@
+"""Hardware models: nodes, fabrics, SHArP switches, cluster presets.
+
+The machine layer binds static configuration
+(:class:`~repro.machine.config.MachineConfig`) to a live simulation
+(:class:`~repro.machine.machine.Machine`): per-node memory engines,
+per-node NIC pipelines, per-rank injection engines, and optionally a
+SHArP aggregation tree.  The four cluster presets from the paper's
+Section 6.1 live in :mod:`repro.machine.clusters`.
+"""
+
+from repro.machine.config import (
+    FabricConfig,
+    MachineConfig,
+    NodeConfig,
+    SharpConfig,
+)
+from repro.machine.fattree import FatTree, FatTreeConfig
+from repro.machine.machine import Machine
+from repro.machine.noise import NoiseModel
+from repro.machine.topology import Loc, Placement
+
+__all__ = [
+    "FabricConfig",
+    "FatTree",
+    "FatTreeConfig",
+    "Loc",
+    "Machine",
+    "MachineConfig",
+    "NodeConfig",
+    "NoiseModel",
+    "Placement",
+    "SharpConfig",
+]

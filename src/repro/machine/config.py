@@ -1,0 +1,246 @@
+"""Static hardware configuration.
+
+All times are seconds, all sizes bytes, all rates derived from the
+per-byte times (``byte_time = 1 / bandwidth``).  The parameter names
+match the cost model of the paper's Table 1 where one exists:
+
+=============================  =====================================
+Paper symbol                   Config field
+=============================  =====================================
+``a`` (inter-node startup)     ``FabricConfig.send_overhead`` +
+                               ``wire_latency`` + ``recv_overhead``
+``b`` (inter-node per byte)    ``FabricConfig.proc_byte_time`` (the
+                               *per-process* injection rate — the NIC
+                               pipeline adds contention on top)
+``a'`` (shm copy startup)      ``NodeConfig.copy_latency``
+``b'`` (shm copy per byte)     ``NodeConfig.copy_byte_time``
+``c`` (reduction per byte)     ``NodeConfig.reduce_byte_time``
+=============================  =====================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Optional
+
+from repro.errors import ConfigError
+
+__all__ = ["NodeConfig", "FabricConfig", "SharpConfig", "MachineConfig"]
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """A multi-socket compute node.
+
+    Parameters
+    ----------
+    sockets / cores_per_socket:
+        Physical layout; ``sockets * cores_per_socket`` bounds ppn.
+    copy_latency:
+        Startup cost of one shared-memory copy (paper's ``a'``).
+    copy_byte_time:
+        Per-byte time of a single core's memcpy (paper's ``b'``,
+        i.e. ``1 / per-core copy bandwidth``).
+    intersocket_latency / intersocket_byte_factor:
+        Extra startup and per-byte multiplier when source and
+        destination live on different sockets (QPI/UPI hop).  This is
+        what makes the SHArP *socket-leader* design beat the
+        *node-leader* design at high ppn.
+    mem_byte_time:
+        Per-byte time of the node's aggregate memory engine
+        (``1 / node memory bandwidth``); caps total concurrent copy
+        throughput.
+    reduce_byte_time:
+        Per-byte compute cost of one reduction combine on one core
+        (paper's ``c``).
+    flag_latency:
+        Cost of a shared-memory flag post/wait (synchronisation in the
+        DPML phases).
+    poll_latency:
+        Per-peer cost of a leader checking one local rank's arrival
+        flag; a gather over ``ppn`` ranks costs
+        ``flag_latency + ppn * poll_latency``.
+    """
+
+    sockets: int = 2
+    cores_per_socket: int = 14
+    copy_latency: float = 2.0e-7
+    copy_byte_time: float = 2.0e-10  # 5 GB/s per core
+    intersocket_latency: float = 3.0e-7
+    intersocket_byte_factor: float = 1.6
+    mem_byte_time: float = 1.25e-11  # 80 GB/s aggregate
+    reduce_byte_time: float = 3.3e-10  # ~3 GB/s combine rate per core
+    flag_latency: float = 1.0e-7
+    poll_latency: float = 2.5e-8
+
+    def __post_init__(self):
+        if self.sockets < 1 or self.cores_per_socket < 1:
+            raise ConfigError("node must have at least one socket and core")
+        for name in (
+            "copy_latency",
+            "copy_byte_time",
+            "intersocket_latency",
+            "mem_byte_time",
+            "reduce_byte_time",
+            "flag_latency",
+            "poll_latency",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        if self.intersocket_byte_factor < 1.0:
+            raise ConfigError("intersocket_byte_factor must be >= 1")
+
+    @property
+    def cores(self) -> int:
+        """Total cores per node."""
+        return self.sockets * self.cores_per_socket
+
+
+@dataclass(frozen=True)
+class FabricConfig:
+    """An inter-node interconnect (LogGP-flavoured, plus NIC queues).
+
+    A message of ``n`` bytes from rank *s* on node *S* to rank *r* on
+    node *R* costs:
+
+    1. ``send_overhead + n * proc_byte_time`` serialized on *s*'s
+       injection engine — the per-process message-rate / injection-
+       bandwidth limit (this is where InfiniBand and Omni-Path differ
+       most: on IB one process cannot saturate the NIC, on OPA it can);
+    2. per ``chunk_bytes`` chunk, ``max(nic_msg_time, chunk *
+       nic_byte_time)`` on node *S*'s TX pipeline — the shared NIC;
+    3. ``wire_latency`` propagation;
+    4. the same chunk service on node *R*'s RX pipeline;
+    5. ``recv_overhead`` on *r*'s engine.
+
+    Messages larger than ``eager_threshold`` use a rendezvous
+    handshake (RTS/CTS control messages) before the payload moves.
+    """
+
+    name: str = "fabric"
+    wire_latency: float = 9.0e-7
+    send_overhead: float = 4.0e-7
+    recv_overhead: float = 3.0e-7
+    proc_byte_time: float = 8.0e-11
+    nic_msg_time: float = 7.0e-9
+    nic_byte_time: float = 8.0e-11  # 12.5 GB/s
+    chunk_bytes: int = 65536
+    eager_threshold: int = 16384
+    # Programmed-I/O regime: messages of at most ``dma_threshold`` bytes
+    # are injected at ``pio_byte_time`` per byte instead of
+    # ``proc_byte_time``.  Omni-Path's PSM2 sends small/medium messages
+    # through CPU PIO (slow per process, so concurrency helps — the
+    # paper's Zone B) and switches to DMA for large ones (full NIC
+    # bandwidth from a single process — Zone C).  ``pio_byte_time=None``
+    # disables the split (InfiniBand).
+    pio_byte_time: Optional[float] = None
+    dma_threshold: int = 0
+
+    def __post_init__(self):
+        for name in (
+            "wire_latency",
+            "send_overhead",
+            "recv_overhead",
+            "proc_byte_time",
+            "nic_msg_time",
+            "nic_byte_time",
+        ):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+        if self.chunk_bytes < 1:
+            raise ConfigError("chunk_bytes must be positive")
+        if self.eager_threshold < 0:
+            raise ConfigError("eager_threshold must be non-negative")
+        if self.pio_byte_time is not None and self.pio_byte_time < 0:
+            raise ConfigError("pio_byte_time must be non-negative")
+        if self.dma_threshold < 0:
+            raise ConfigError("dma_threshold must be non-negative")
+
+    def proc_bandwidth(self) -> float:
+        """Per-process injection bandwidth in bytes/second."""
+        return 1.0 / self.proc_byte_time if self.proc_byte_time > 0 else float("inf")
+
+    def nic_bandwidth(self) -> float:
+        """NIC pipeline bandwidth in bytes/second."""
+        return 1.0 / self.nic_byte_time if self.nic_byte_time > 0 else float("inf")
+
+
+@dataclass(frozen=True)
+class SharpConfig:
+    """SHArP in-network aggregation (Mellanox switch offload).
+
+    The switch tree reduces data as it flows up and broadcasts the
+    result down.  Payloads are segmented into ``max_payload``-byte
+    operations (SHArP v1 supports only small per-operation payloads,
+    which is why host-based algorithms win past a few KB), the tree
+    supports only ``max_outstanding`` concurrent operations (why using
+    all DPML leaders for SHArP does not scale), and each tree level
+    costs ``hop_latency``.  One operation costs ``op_latency`` plus
+    ``segment_overhead`` per segment beyond the first, plus per-byte
+    switch ALU time.
+    """
+
+    radix: int = 36
+    hop_latency: float = 2.0e-7
+    op_latency: float = 9.0e-7
+    segment_overhead: float = 2.1e-6
+    switch_byte_time: float = 1.0e-9
+    max_payload: int = 256
+    max_outstanding: int = 2
+    # SHArP v2 "streaming aggregation trees" (SAT): large payloads
+    # stream through the switch ALUs at near line rate instead of being
+    # chopped into 256-byte operations.  The paper evaluates v1;
+    # ``streaming=True`` models the successor generation for the
+    # future-work benchmarks.
+    streaming: bool = False
+    stream_byte_time: float = 1.2e-10
+
+    def __post_init__(self):
+        if self.radix < 2:
+            raise ConfigError("switch radix must be >= 2")
+        if self.max_payload < 1:
+            raise ConfigError("max_payload must be positive")
+        if self.max_outstanding < 1:
+            raise ConfigError("max_outstanding must be >= 1")
+        for name in ("hop_latency", "op_latency", "segment_overhead",
+                     "switch_byte_time", "stream_byte_time"):
+            if getattr(self, name) < 0:
+                raise ConfigError(f"{name} must be non-negative")
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """A full cluster: ``nodes`` identical nodes on one fabric.
+
+    ``placement`` selects how consecutive ranks map to sockets within a
+    node: ``"scatter"`` round-robins ranks across sockets (the default,
+    matching typical MVAPICH2 cyclic binding at partial subscription);
+    ``"bunch"`` fills socket 0 first.
+
+    ``topology`` optionally adds a link-level fat-tree switch fabric
+    (:class:`~repro.machine.fattree.FatTreeConfig`); by default only
+    the NIC endpoints contend.
+    """
+
+    name: str = "cluster"
+    nodes: int = 16
+    node: NodeConfig = field(default_factory=NodeConfig)
+    fabric: FabricConfig = field(default_factory=FabricConfig)
+    sharp: Optional[SharpConfig] = None
+    placement: str = "scatter"
+    topology: Optional[object] = None  # FatTreeConfig (import-cycle-free)
+
+    def __post_init__(self):
+        if self.nodes < 1:
+            raise ConfigError("cluster needs at least one node")
+        if self.placement not in ("scatter", "bunch"):
+            raise ConfigError(f"unknown placement {self.placement!r}")
+
+    @property
+    def max_ranks(self) -> int:
+        """Total cores in the cluster."""
+        return self.nodes * self.node.cores
+
+    def with_nodes(self, nodes: int) -> "MachineConfig":
+        """Copy of this config with a different node count."""
+        return replace(self, nodes=nodes)

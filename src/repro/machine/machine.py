@@ -1,0 +1,252 @@
+"""The live machine: binds a :class:`MachineConfig` to a simulation.
+
+A :class:`Machine` owns, per job:
+
+* one **injection engine** (:class:`~repro.sim.resources.FCFSQueue`) per
+  rank — serializes that process's communication work (message setup and
+  byte injection), which is what limits per-process message rate and
+  per-process bandwidth;
+* one **TX** and one **RX NIC pipeline** per node — the shared fabric
+  endpoints where concurrent flows contend;
+* one **memory engine** per node — caps aggregate intra-node copy
+  bandwidth;
+* optionally a :class:`~repro.machine.sharp.SharpTree`.
+
+The generator methods (``compute``, ``shm_copy``) are meant to be
+``yield from``-ed inside a rank coroutine; they advance simulated time
+according to the config and charge the tracer.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.errors import ConfigError
+from repro.machine.config import MachineConfig
+from repro.machine.noise import NoiseModel
+from repro.machine.sharp import SharpTree
+from repro.machine.topology import Loc, Placement
+from repro.sim import FCFSQueue, Simulator, Tracer
+from repro.sim.timeline import Timeline
+
+__all__ = ["Machine"]
+
+# Memory-traffic multiplier for one reduction combine: stream two source
+# vectors in and one result out.
+_REDUCE_MEM_STREAMS = 3.0
+
+
+class Machine:
+    """A simulated cluster hosting one MPI job.
+
+    Parameters
+    ----------
+    config:
+        Hardware description.
+    nranks:
+        MPI ranks in the job.
+    ppn:
+        Processes per node (default: full subscription).
+    sim / tracer:
+        Optionally share a simulator/tracer; fresh ones are created
+        otherwise.
+    trace:
+        Enable time-category accounting (off for big benchmark runs).
+    timeline:
+        Optional :class:`~repro.sim.timeline.Timeline` recording
+        per-rank spans (compute/copy/injection) for Chrome-trace export.
+    noise:
+        Optional :class:`~repro.machine.noise.NoiseModel` applying
+        seeded multiplicative jitter to every charged service time.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        nranks: int,
+        ppn: Optional[int] = None,
+        *,
+        sim: Optional[Simulator] = None,
+        tracer: Optional[Tracer] = None,
+        trace: bool = False,
+        timeline: Optional[Timeline] = None,
+        noise: Optional[NoiseModel] = None,
+    ):
+        self.config = config
+        self.sim = sim or Simulator()
+        self.tracer = tracer or Tracer(enabled=trace)
+        self.placement = Placement(config, nranks, ppn)
+        self.nranks = nranks
+        self.ppn = self.placement.ppn
+        self.timeline = timeline
+        self.noise = noise
+
+        nodes = self.placement.nodes_used
+        self.engine = [
+            FCFSQueue(self.sim, f"engine[r{r}]") for r in range(nranks)
+        ]
+        self.nic_tx = [FCFSQueue(self.sim, f"nic_tx[n{n}]") for n in range(nodes)]
+        self.nic_rx = [FCFSQueue(self.sim, f"nic_rx[n{n}]") for n in range(nodes)]
+        self.mem = [FCFSQueue(self.sim, f"mem[n{n}]") for n in range(nodes)]
+        self.sharp: Optional[SharpTree] = (
+            SharpTree(self.sim, config.sharp, nodes) if config.sharp else None
+        )
+        if config.topology is not None:
+            from repro.machine.fattree import FatTree
+
+            self.fabric_tree = FatTree(self.sim, config.topology, nodes)
+        else:
+            self.fabric_tree = None
+
+    # -- placement shortcuts -------------------------------------------------
+
+    def loc(self, rank: int) -> Loc:
+        """Physical location of ``rank``."""
+        return self.placement.loc(rank)
+
+    def node_of(self, rank: int) -> int:
+        """Node index of ``rank``."""
+        return self.placement.node_of(rank)
+
+    def same_node(self, a: int, b: int) -> bool:
+        """Whether two ranks share a node."""
+        return self.placement.same_node(a, b)
+
+    def same_socket(self, a: int, b: int) -> bool:
+        """Whether two ranks share a socket (implies same node)."""
+        if not self.placement.same_node(a, b):
+            return False
+        return self.loc(a).socket == self.loc(b).socket
+
+    def require_sharp(self) -> SharpTree:
+        """The SHArP tree, or a clear error if this fabric lacks one."""
+        if self.sharp is None:
+            raise ConfigError(
+                f"cluster {self.config.name!r} has no SHArP support; "
+                "SHArP-based designs run on Cluster A only (see Section 6.1)"
+            )
+        return self.sharp
+
+    # -- charged primitives ----------------------------------------------------
+
+    def perturb(self, service: float) -> float:
+        """Apply the machine's noise model (identity by default)."""
+        if self.noise is None:
+            return service
+        return self.noise.perturb(service)
+
+    def engine_submit(self, rank: int, service: float, label: str = "net"):
+        """Submit (noised) work to a rank's engine, recording a span."""
+        service = self.perturb(service)
+        ev = self.engine[rank].submit(service)
+        if self.timeline is not None and self.timeline.enabled:
+            done_at = ev.value  # FCFS queues decide completion eagerly
+            self.timeline.record(label, label, rank, done_at - service, done_at)
+        return ev
+
+    def compute(self, rank: int, nbytes: int, combines: int = 1) -> Generator:
+        """Reduction compute: ``combines`` combines over ``nbytes`` each.
+
+        The core is busy for ``combines * nbytes * c``; the node memory
+        engine is charged the streamed traffic so many concurrent
+        leaders eventually hit the memory-bandwidth wall.
+        """
+        node_cfg = self.config.node
+        busy = combines * nbytes * node_cfg.reduce_byte_time
+        self.tracer.charge("compute", busy, combines)
+        if busy > 0:
+            # Serialize on the rank's engine: one core cannot combine
+            # two overlapped collectives' data at the same time.
+            yield self.engine_submit(rank, busy, "compute")
+        mem_service = (
+            combines * nbytes * _REDUCE_MEM_STREAMS * node_cfg.mem_byte_time
+        )
+        if mem_service > 0:
+            yield self.mem[self.node_of(rank)].submit(mem_service)
+
+    def shm_copy(
+        self, rank: int, nbytes: int, cross_socket: bool = False
+    ) -> Generator:
+        """Blocking shared-memory copy of ``nbytes`` performed by ``rank``.
+
+        Models the paper's ``a' + n * b'`` with an inter-socket premium,
+        plus contention on the node memory engine.
+        """
+        node_cfg = self.config.node
+        startup = node_cfg.copy_latency
+        byte_time = node_cfg.copy_byte_time
+        if cross_socket:
+            startup += node_cfg.intersocket_latency
+            byte_time *= node_cfg.intersocket_byte_factor
+        busy = self.perturb(startup + nbytes * byte_time)
+        self.tracer.charge("copy", busy)
+        if self.timeline is not None and self.timeline.enabled:
+            self.timeline.record(
+                "copy", "shm_copy", rank, self.sim.now, self.sim.now + busy
+            )
+        yield self.sim.timeout(busy)
+        mem_service = nbytes * node_cfg.mem_byte_time
+        if mem_service > 0:
+            yield self.mem[self.node_of(rank)].submit(mem_service)
+
+    def flag_sync(self) -> Generator:
+        """One shared-memory flag post/wait hop."""
+        latency = self.config.node.flag_latency
+        self.tracer.charge("sync", latency)
+        yield self.sim.timeout(latency)
+
+    def gather_sync(self, rank: int, parties: int) -> Generator:
+        """A leader confirming arrival flags from ``parties`` local ranks."""
+        node_cfg = self.config.node
+        latency = node_cfg.flag_latency + parties * node_cfg.poll_latency
+        self.tracer.charge("sync", latency)
+        yield self.sim.timeout(latency)
+
+    # -- fabric cost helpers (used by the transport layer) ---------------------
+
+    def injection_service(self, nbytes: int) -> float:
+        """Sender-engine service time for one message of ``nbytes``."""
+        fabric = self.config.fabric
+        return fabric.send_overhead + nbytes * self._proc_byte_time(nbytes)
+
+    def reception_service(self, nbytes: int) -> float:
+        """Receiver-engine service time for one message of ``nbytes``."""
+        return self.config.fabric.recv_overhead
+
+    def _proc_byte_time(self, nbytes: int) -> float:
+        """Per-byte injection cost; PIO/DMA split when configured."""
+        fabric = self.config.fabric
+        if fabric.pio_byte_time is not None and nbytes <= fabric.dma_threshold:
+            return fabric.pio_byte_time
+        return fabric.proc_byte_time
+
+    def nic_chunks(self, nbytes: int) -> list[int]:
+        """Split a message into NIC pipeline chunks."""
+        chunk = self.config.fabric.chunk_bytes
+        if nbytes <= 0:
+            return [0]
+        full, rest = divmod(nbytes, chunk)
+        sizes = [chunk] * full
+        if rest:
+            sizes.append(rest)
+        return sizes
+
+    def nic_service(self, chunk_bytes: int) -> float:
+        """NIC pipeline service time for one chunk."""
+        fabric = self.config.fabric
+        return max(fabric.nic_msg_time, chunk_bytes * fabric.nic_byte_time)
+
+    def fabric_stages(self, src_node: int, dst_node: int):
+        """Switch-fabric pipeline stages between two nodes' NICs.
+
+        Empty unless the config enables a link-level topology.
+        """
+        if self.fabric_tree is None:
+            return ()
+        return self.fabric_tree.fabric_stages(src_node, dst_node)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Machine {self.config.name!r} {self.nranks} ranks on "
+            f"{self.placement.nodes_used} nodes (ppn={self.ppn})>"
+        )

@@ -1,0 +1,111 @@
+"""SHArP switch aggregation tree model.
+
+SHArP (Scalable Hierarchical Aggregation Protocol, Graham et al.,
+COM-HPC'16) performs the reduction *inside the InfiniBand switches*: the
+leaf switches combine the vectors arriving from their nodes and forward
+partial results up a reduction tree; the root broadcasts the final value
+back down.  Three hardware properties shape the paper's Section 4.3 and
+Figure 8, and all three are modelled here:
+
+1. **Small payload per operation** — data is consumed in
+   ``max_payload``-byte segments with a per-segment protocol overhead,
+   so host-based algorithms win beyond a few KB.
+2. **Few concurrent operations** — the tree supports only
+   ``max_outstanding`` simultaneous reductions (a FIFO
+   :class:`~repro.sim.resources.Resource`), which is why the paper uses
+   one (or one-per-socket) leader instead of all DPML leaders.
+3. **Tree latency** — each level costs a hop up and a hop down.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Generator
+
+from repro.errors import ConfigError
+from repro.machine.config import SharpConfig
+from repro.sim import Resource, Simulator
+
+__all__ = ["SharpTree"]
+
+
+class SharpTree:
+    """The in-network reduction tree of one fabric.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    config:
+        Switch characteristics.
+    nodes:
+        Number of compute nodes attached (tree leaves scale with the
+        number of participating leader processes, which is at least the
+        node count for node-level leaders).
+    """
+
+    def __init__(self, sim: Simulator, config: SharpConfig, nodes: int):
+        if nodes < 1:
+            raise ConfigError("SHArP tree needs at least one attached node")
+        self.sim = sim
+        self.config = config
+        self.nodes = nodes
+        self.contexts = Resource(sim, config.max_outstanding, name="sharp-contexts")
+
+    def depth(self, leaves: int) -> int:
+        """Number of aggregation levels for ``leaves`` data sources."""
+        if leaves < 1:
+            raise ConfigError(f"invalid leaf count {leaves}")
+        if leaves == 1:
+            return 1
+        return max(1, math.ceil(math.log(leaves, self.config.radix)))
+
+    def segments(self, nbytes: int) -> int:
+        """Number of ``max_payload``-byte protocol segments for ``nbytes``."""
+        if nbytes <= 0:
+            return 1
+        return -(-nbytes // self.config.max_payload)
+
+    def reduction_time(self, leaves: int, nbytes: int) -> float:
+        """Closed-form duration of one in-network reduction.
+
+        Up-and-down tree traversal plus the fixed operation setup
+        (``op_latency``) plus the segment pipeline: the first segment
+        rides the setup; each further segment streams behind it,
+        costing the larger of the per-segment protocol overhead and the
+        switch ALU time for ``max_payload`` bytes.
+        """
+        cfg = self.config
+        d = self.depth(leaves)
+        if cfg.streaming:
+            # SHArP v2 SAT: one operation streams the whole payload at
+            # near line rate through the tree.
+            return (
+                2 * d * cfg.hop_latency
+                + cfg.op_latency
+                + nbytes * cfg.stream_byte_time
+            )
+        nseg = self.segments(nbytes)
+        seg_bytes = min(nbytes, cfg.max_payload) if nbytes > 0 else 0
+        seg_service = max(cfg.segment_overhead, seg_bytes * cfg.switch_byte_time)
+        return 2 * d * cfg.hop_latency + cfg.op_latency + (nseg - 1) * seg_service
+
+    def operation(self, leaves: int, nbytes: int) -> Generator:
+        """Run one reduction while holding a switch operation context.
+
+        Yields from inside a coordinator process; returns the completion
+        time.  Queuing for a context models the limited number of
+        outstanding SHArP operations.
+        """
+        yield self.contexts.acquire()
+        try:
+            yield self.sim.timeout(self.reduction_time(leaves, nbytes))
+        finally:
+            self.contexts.release()
+        return self.sim.now
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SharpTree nodes={self.nodes} radix={self.config.radix} "
+            f"contexts={self.config.max_outstanding}>"
+        )

@@ -1,0 +1,34 @@
+"""An MPI-like runtime on top of the simulated machine.
+
+Ranks are simulator processes (generator coroutines).  The API mirrors
+the parts of MPI the paper's algorithms need:
+
+* :class:`~repro.mpi.comm.Comm` — communicators with point-to-point
+  ``send/recv/isend/irecv/sendrecv``, ``wait/waitall/waitany``,
+  ``split``, ``barrier``, and blocking/non-blocking collectives
+  dispatched through the algorithm registry;
+* :class:`~repro.mpi.runtime.Runtime` / :func:`~repro.mpi.runtime.run_job`
+  — job launch and teardown;
+* :mod:`repro.mpi.collectives` — the baseline allreduce algorithms
+  (recursive doubling, Rabenseifner, ring, single-leader hierarchical)
+  plus the library-like tuned selectors the paper compares against.
+
+Semantics preserved from MPI: tag matching with ``ANY_SOURCE`` /
+``ANY_TAG`` wildcards, non-overtaking message ordering per sender,
+eager vs rendezvous protocols by message size, and communicator
+contexts isolating concurrent collectives.
+"""
+
+from repro.mpi.comm import ANY_SOURCE, ANY_TAG, Comm
+from repro.mpi.request import Request
+from repro.mpi.runtime import JobResult, Runtime, run_job
+
+__all__ = [
+    "ANY_SOURCE",
+    "ANY_TAG",
+    "Comm",
+    "JobResult",
+    "Request",
+    "Runtime",
+    "run_job",
+]

@@ -1,0 +1,130 @@
+"""Allgather algorithms.
+
+Every rank contributes an equal-count block; the result is the
+concatenation of all blocks in rank order on every rank.
+
+* :func:`allgather_recursive_doubling` — ``lg p`` rounds of pairwise
+  block-range exchange (power-of-two ranks; silently delegates to Bruck
+  otherwise, as MPICH does);
+* :func:`allgather_bruck` — ``ceil(lg p)`` rounds, any rank count;
+* :func:`allgather_ring` — ``p - 1`` neighbour steps,
+  bandwidth-friendly for large blocks.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.errors import MPIError
+from repro.payload.payload import Payload, concat
+
+__all__ = [
+    "allgather_recursive_doubling",
+    "allgather_bruck",
+    "allgather_ring",
+]
+
+
+def _check_equal_counts(comm, payload: Payload) -> None:
+    if payload is None:
+        raise MPIError("allgather requires a contribution on every rank")
+
+
+def allgather_recursive_doubling(
+    comm, payload: Payload, tag_base: int = 0
+) -> Generator:
+    """Recursive-doubling allgather (delegates to Bruck for non-pof2)."""
+    p = comm.size
+    if p & (p - 1):
+        result = yield from allgather_bruck(comm, payload, tag_base=tag_base)
+        return result
+    _check_equal_counts(comm, payload)
+    rank = comm.rank
+    if p == 1:
+        return payload.copy()
+
+    # Window of contiguous blocks currently held: [lo, lo + held).
+    lo = rank
+    vec = payload
+    mask = 1
+    round_no = 0
+    while mask < p:
+        partner = rank ^ mask
+        theirs = yield from comm.sendrecv(
+            partner,
+            vec,
+            source=partner,
+            send_tag=tag_base + round_no,
+            recv_tag=tag_base + round_no,
+        )
+        if rank & mask:
+            vec = concat([theirs, vec])
+            lo -= mask
+        else:
+            vec = concat([vec, theirs])
+        mask <<= 1
+        round_no += 1
+    assert lo == 0
+    return vec
+
+
+def allgather_bruck(comm, payload: Payload, tag_base: int = 0) -> Generator:
+    """Bruck's allgather: works for any rank count.
+
+    Blocks accumulate in rotated order (own block first); a final local
+    reorder restores rank order.
+    """
+    _check_equal_counts(comm, payload)
+    p = comm.size
+    rank = comm.rank
+    if p == 1:
+        return payload.copy()
+
+    blocks = [payload]  # rotated: blocks[i] belongs to rank (rank + i) % p
+    round_no = 0
+    while len(blocks) < p:
+        held = len(blocks)
+        count = min(held, p - held)
+        dst = (rank - held) % p
+        src = (rank + held) % p
+        theirs = yield from comm.sendrecv(
+            dst,
+            concat(blocks[:count]),
+            source=src,
+            send_tag=tag_base + round_no,
+            recv_tag=tag_base + round_no,
+        )
+        blocks.extend(theirs.split(count))
+        round_no += 1
+    assert len(blocks) == p
+    # Un-rotate: blocks[i] is rank (rank + i) % p; reorder to 0..p-1.
+    ordered = [None] * p
+    for i, block in enumerate(blocks):
+        ordered[(rank + i) % p] = block
+    return concat(ordered)
+
+
+def allgather_ring(comm, payload: Payload, tag_base: int = 0) -> Generator:
+    """Ring allgather: p-1 neighbour exchanges."""
+    _check_equal_counts(comm, payload)
+    p = comm.size
+    rank = comm.rank
+    if p == 1:
+        return payload.copy()
+
+    blocks: list[Payload | None] = [None] * p
+    blocks[rank] = payload
+    right = (rank + 1) % p
+    left = (rank - 1) % p
+    for step in range(p - 1):
+        send_idx = (rank - step) % p
+        recv_idx = (rank - step - 1) % p
+        theirs = yield from comm.sendrecv(
+            right,
+            blocks[send_idx],
+            source=left,
+            send_tag=tag_base + step % 32,
+            recv_tag=tag_base + step % 32,
+        )
+        blocks[recv_idx] = theirs
+    return concat(blocks)

@@ -1,0 +1,98 @@
+"""All-to-all personalized exchange.
+
+Each rank provides one block per destination; rank ``i`` returns the
+list of blocks addressed to it, in source-rank order.  Two classic
+algorithms:
+
+* :func:`alltoall_pairwise` — ``p - 1`` rounds, each a single
+  send/recv pair at increasing distance; bandwidth-optimal for large
+  blocks;
+* :func:`alltoall_bruck` — ``ceil(lg p)`` rounds shipping bundled
+  blocks; fewer messages, extra forwarding volume — the small-block
+  algorithm.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Sequence
+
+from repro.errors import MPIError
+from repro.payload.payload import Bundle, Payload
+
+__all__ = ["alltoall_pairwise", "alltoall_bruck"]
+
+
+def _check_blocks(comm, blocks: Sequence[Payload]) -> None:
+    if blocks is None or len(blocks) != comm.size:
+        raise MPIError(
+            f"alltoall needs one block per destination "
+            f"({comm.size}), got {None if blocks is None else len(blocks)}"
+        )
+
+
+def alltoall_pairwise(
+    comm, blocks: Sequence[Payload], tag_base: int = 0
+) -> Generator:
+    """Pairwise-exchange alltoall (any rank count)."""
+    _check_blocks(comm, blocks)
+    p = comm.size
+    rank = comm.rank
+    out: list[Payload] = [None] * p  # type: ignore[list-item]
+    out[rank] = blocks[rank].copy()
+    for step in range(1, p):
+        dst = (rank + step) % p
+        src = (rank - step) % p
+        theirs = yield from comm.sendrecv(
+            dst,
+            blocks[dst],
+            source=src,
+            send_tag=tag_base + step % 32,
+            recv_tag=tag_base + step % 32,
+        )
+        out[src] = theirs
+    return out
+
+
+def alltoall_bruck(
+    comm, blocks: Sequence[Payload], tag_base: int = 0
+) -> Generator:
+    """Bruck's log-round alltoall.
+
+    Phase 1: local rotation so entry ``i`` targets relative rank ``i``.
+    Phase 2: for each bit ``k``, ship every entry whose relative index
+    has bit ``k`` set to the rank ``2^k`` away (bundled into one
+    message).  Phase 3: inverse rotation.
+    """
+    _check_blocks(comm, blocks)
+    p = comm.size
+    rank = comm.rank
+    if p == 1:
+        return [blocks[0].copy()]
+
+    # Phase 1: rotate so slot d holds the block for rank (rank + d) % p.
+    slots: list[Payload] = [blocks[(rank + d) % p] for d in range(p)]
+
+    distance = 1
+    round_no = 0
+    while distance < p:
+        send_idx = [d for d in range(p) if d & distance]
+        dst = (rank + distance) % p
+        src = (rank - distance) % p
+        bundle = Bundle([slots[d] for d in send_idx])
+        theirs = yield from comm.sendrecv(
+            dst,
+            bundle,
+            source=src,
+            send_tag=tag_base + round_no,
+            recv_tag=tag_base + round_no,
+        )
+        for d, part in zip(send_idx, theirs.parts):
+            slots[d] = part
+        distance <<= 1
+        round_no += 1
+
+    # Phase 3: slot d now holds the block *from* rank (rank - d) % p.
+    out: list[Payload] = [None] * p  # type: ignore[list-item]
+    for d in range(p):
+        out[(rank - d) % p] = slots[d]
+    return out

@@ -1,0 +1,109 @@
+"""Binomial-tree gather and scatter.
+
+* :func:`gather_binomial` — each rank contributes one payload; the root
+  returns the list of all contributions in rank order (``None``
+  elsewhere).
+* :func:`scatter_binomial` — the root provides one payload per rank;
+  every rank returns its own.
+
+Subtree blocks travel together as a :class:`~repro.payload.payload.Bundle`
+(one transfer per tree edge, wire cost = sum of the blocks, boundaries
+preserved by the bundle header), so unequal per-rank counts work —
+these double as ``MPI_Gatherv`` / ``MPI_Scatterv``.
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional, Sequence
+
+from repro.errors import MPIError
+from repro.payload.payload import Bundle, Payload
+
+__all__ = ["gather_binomial", "scatter_binomial"]
+
+
+def gather_binomial(
+    comm, payload: Payload, root: int = 0, tag_base: int = 0
+) -> Generator:
+    """Binomial gather; the root returns ``[payload_0, ..., payload_{p-1}]``."""
+    p = comm.size
+    rank = comm.rank
+    if p == 1:
+        return [payload.copy()]
+    rel = (rank - root) % p
+
+    # collected[d] = payload of relative rank rel + d (within my subtree).
+    collected: dict[int, Payload] = {0: payload}
+    mask = 1
+    while mask < p:
+        if rel & mask:
+            parent = ((rel - mask) + root) % p
+            offsets = sorted(collected)
+            yield from comm.send(
+                parent, Bundle([collected[d] for d in offsets]), tag_base + 1
+            )
+            return None
+        child_rel = rel + mask
+        if child_rel < p:
+            child = (child_rel + root) % p
+            bundle = yield from comm.recv(child, tag_base + 1)
+            for i, part in enumerate(bundle.parts):
+                collected[child_rel - rel + i] = part
+        mask <<= 1
+
+    assert rel == 0 and len(collected) == p
+    return [collected[(r - root) % p] for r in range(p)]
+
+
+def scatter_binomial(
+    comm,
+    payloads: Optional[Sequence[Payload]],
+    root: int = 0,
+    tag_base: int = 0,
+) -> Generator:
+    """Binomial scatter; rank ``i`` returns ``payloads[i]`` (given at root)."""
+    p = comm.size
+    rank = comm.rank
+    rel = (rank - root) % p
+
+    if rel == 0:
+        if payloads is None or len(payloads) != p:
+            raise MPIError(
+                f"scatter root needs exactly {p} payloads, got "
+                f"{None if payloads is None else len(payloads)}"
+            )
+        if p == 1:
+            return payloads[0].copy()
+        # Blocks indexed by relative rank.
+        blocks: list[Optional[Payload]] = [
+            payloads[(d + root) % p] for d in range(p)
+        ]
+        mine = blocks[0]
+    else:
+        # Receive my whole subtree from the parent.
+        mask = 1
+        while not (rel & mask):
+            mask <<= 1
+        bundle = yield from comm.recv(tag=tag_base + 2)
+        blocks = [None] * p
+        for i, part in enumerate(bundle.parts):
+            blocks[rel + i] = part
+        mine = blocks[rel]
+
+    # Forward sub-subtrees to children at decreasing distances.
+    mask = 1
+    while mask < p and not (rel & mask):
+        mask <<= 1
+    mask >>= 1
+    while mask >= 1:
+        child_rel = rel + mask
+        if child_rel < p:
+            child = (child_rel + root) % p
+            count = min(mask, p - child_rel)
+            subtree = blocks[child_rel : child_rel + count]
+            if any(b is None for b in subtree):
+                raise MPIError("scatter subtree incomplete (internal error)")
+            yield from comm.send(child, Bundle(subtree), tag_base + 2)
+        mask >>= 1
+    assert mine is not None
+    return mine

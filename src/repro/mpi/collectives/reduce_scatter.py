@@ -1,0 +1,107 @@
+"""Reduce-scatter algorithms.
+
+Each rank contributes a full vector; rank ``i`` returns chunk ``i`` of
+the element-wise reduction, with chunk boundaries from
+:func:`repro.payload.payload.split_bounds` over ``p`` chunks.
+
+* :func:`reduce_scatter_recursive_halving` — ``lg p`` halving rounds,
+  bandwidth-optimal (power-of-two ranks; delegates to pairwise
+  otherwise);
+* :func:`reduce_scatter_pairwise` — ``p - 1`` rounds, any rank count,
+  commutative operators.
+"""
+
+from __future__ import annotations
+
+from typing import Generator
+
+from repro.mpi.collectives.base import charged_reduce
+from repro.payload.ops import ReduceOp
+from repro.payload.payload import Payload, split_bounds
+
+__all__ = [
+    "reduce_scatter_recursive_halving",
+    "reduce_scatter_pairwise",
+]
+
+
+def reduce_scatter_recursive_halving(
+    comm, payload: Payload, op: ReduceOp, tag_base: int = 0
+) -> Generator:
+    """Recursive-halving reduce-scatter (pof2; else pairwise)."""
+    p = comm.size
+    if p & (p - 1):
+        result = yield from reduce_scatter_pairwise(
+            comm, payload, op, tag_base=tag_base
+        )
+        return result
+    rank = comm.rank
+    if p == 1:
+        return payload.copy()
+
+    bounds = split_bounds(payload.count, p)
+    lo, hi = 0, p
+    vec = payload
+    mask = p >> 1
+    round_no = 0
+    while mask >= 1:
+        partner = rank ^ mask
+        mid = (lo + hi) // 2
+        win_start = bounds[lo][0]
+        if rank & mask == 0:
+            keep_lo, keep_hi = lo, mid
+            send_lo, send_hi = mid, hi
+        else:
+            keep_lo, keep_hi = mid, hi
+            send_lo, send_hi = lo, mid
+        send_part = vec.slice(
+            bounds[send_lo][0] - win_start, bounds[send_hi - 1][1] - win_start
+        )
+        kept_part = vec.slice(
+            bounds[keep_lo][0] - win_start, bounds[keep_hi - 1][1] - win_start
+        )
+        theirs = yield from comm.sendrecv(
+            partner,
+            send_part,
+            source=partner,
+            send_tag=tag_base + round_no,
+            recv_tag=tag_base + round_no,
+        )
+        vec = yield from charged_reduce(comm, kept_part, theirs, op)
+        lo, hi = keep_lo, keep_hi
+        mask >>= 1
+        round_no += 1
+    assert (lo, hi) == (rank, rank + 1)
+    return vec
+
+
+def reduce_scatter_pairwise(
+    comm, payload: Payload, op: ReduceOp, tag_base: int = 0
+) -> Generator:
+    """Pairwise-exchange reduce-scatter for any rank count.
+
+    Round ``s``: send chunk ``(rank + s) % p`` of *my input* to rank
+    ``rank + s`` and accumulate the chunk arriving from ``rank - s``.
+    Requires a commutative operator (all predefined MPI ops are).
+    """
+    p = comm.size
+    rank = comm.rank
+    bounds = split_bounds(payload.count, p)
+
+    def chunk(i: int) -> Payload:
+        a, b = bounds[i]
+        return payload.slice(a, b)
+
+    mine = chunk(rank)
+    for step in range(1, p):
+        dst = (rank + step) % p
+        src = (rank - step) % p
+        theirs = yield from comm.sendrecv(
+            dst,
+            chunk(dst),
+            source=src,
+            send_tag=tag_base + step % 32,
+            recv_tag=tag_base + step % 32,
+        )
+        mine = yield from charged_reduce(comm, mine, theirs, op)
+    return mine

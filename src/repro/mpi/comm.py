@@ -1,0 +1,433 @@
+"""Communicators.
+
+Each rank holds its own :class:`Comm` *view* (so ``comm.rank`` is the
+caller's rank); views of the same communicator share a :class:`Group`
+that carries the member list, the context id isolating its traffic, and
+the coordination state for ``split``.
+
+Collective operations are generator methods — call them with
+``yield from`` inside a rank coroutine::
+
+    def main(comm):
+        result = yield from comm.allreduce(payload, SUM)
+        ...
+
+Non-blocking collectives (``icoll``/``iallreduce``) spawn the same
+generator as a background simulator process and return a
+:class:`~repro.mpi.request.Request`, which is exactly how
+DPML-Pipelined overlaps its ``k`` sub-allreduces.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Callable, Generator, Optional, Sequence
+
+from repro.errors import MPIError
+from repro.mpi.matching import ANY
+from repro.mpi.request import Request
+from repro.payload.ops import ReduceOp
+from repro.payload.payload import Payload
+
+__all__ = ["ANY_SOURCE", "ANY_TAG", "Comm", "Group"]
+
+ANY_SOURCE = ANY
+ANY_TAG = ANY
+
+# Collective algorithms get disjoint tag blocks of this size.
+_COLL_TAG_SPAN = 64
+_COLL_TAG_BASE = 1 << 20
+
+
+class Group:
+    """State shared by all rank views of one communicator."""
+
+    __slots__ = ("ranks", "context", "index_of", "_split_calls", "_coll_calls")
+
+    def __init__(self, ranks: Sequence[int], context: int):
+        self.ranks = tuple(ranks)
+        self.context = context
+        self.index_of = {g: i for i, g in enumerate(self.ranks)}
+        # split-coordination: call number -> {"args": {rank: (color, key)},
+        # "event": Event fired with {global_rank: Group}}
+        self._split_calls: dict[int, dict] = {}
+        self._coll_calls = 0
+
+
+class Comm:
+    """One rank's view of a communicator."""
+
+    __slots__ = ("runtime", "group", "rank", "_split_count", "_coll_count", "cache")
+
+    def __init__(self, runtime, group: Group, global_rank: int):
+        if global_rank not in group.index_of:
+            raise MPIError(f"rank {global_rank} is not a member of this communicator")
+        self.runtime = runtime
+        self.group = group
+        self.rank = group.index_of[global_rank]
+        self._split_count = 0
+        self._coll_count = 0
+        # Per-(comm, rank) cache used by collective plans (e.g. DPML
+        # leader layouts); keyed by algorithm-specific tuples.
+        self.cache: dict = {}
+
+    # -- basic properties -------------------------------------------------------
+
+    @property
+    def size(self) -> int:
+        """Number of ranks in the communicator."""
+        return len(self.group.ranks)
+
+    @property
+    def world_rank(self) -> int:
+        """This rank's global (COMM_WORLD) rank."""
+        return self.group.ranks[self.rank]
+
+    @property
+    def machine(self):
+        """The machine this job runs on."""
+        return self.runtime.machine
+
+    @property
+    def sim(self):
+        """The underlying simulator."""
+        return self.runtime.sim
+
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds)."""
+        return self.runtime.sim.now
+
+    def translate(self, local_rank: int) -> int:
+        """Communicator rank → global rank."""
+        try:
+            return self.group.ranks[local_rank]
+        except IndexError:
+            raise MPIError(
+                f"rank {local_rank} out of range for communicator of size {self.size}"
+            ) from None
+
+    # -- point-to-point -----------------------------------------------------------
+
+    def isend(self, dst: int, payload: Payload, tag: int = 0) -> Request:
+        """Non-blocking send to communicator rank ``dst``."""
+        return self.runtime.transport.isend(
+            self.world_rank, self.translate(dst), payload, tag, self.group.context
+        )
+
+    def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
+        """Non-blocking receive."""
+        src_global = source if source == ANY_SOURCE else self.translate(source)
+        return self.runtime.transport.irecv(
+            self.world_rank, src_global, tag, self.group.context
+        )
+
+    def send(self, dst: int, payload: Payload, tag: int = 0) -> Generator:
+        """Blocking send (completes when the buffer is reusable)."""
+        req = self.isend(dst, payload, tag)
+        yield req.event
+
+    def recv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Generator:
+        """Blocking receive; returns the payload."""
+        req = self.irecv(source, tag)
+        payload = yield req.event
+        return payload
+
+    def sendrecv(
+        self,
+        dst: int,
+        payload: Payload,
+        source: int = ANY_SOURCE,
+        send_tag: int = 0,
+        recv_tag: int = ANY_TAG,
+    ) -> Generator:
+        """Concurrent send+receive; returns the received payload."""
+        send_req = self.isend(dst, payload, send_tag)
+        recv_req = self.irecv(source, recv_tag)
+        _, received = yield self.sim.all_of([send_req.event, recv_req.event])
+        return received
+
+    # -- request completion ---------------------------------------------------------
+
+    def wait(self, request: Request) -> Generator:
+        """Block until ``request`` completes; returns its value."""
+        value = yield request.event
+        return value
+
+    def waitall(self, requests: Sequence[Request]) -> Generator:
+        """Block until every request completes; returns their values."""
+        values = yield self.sim.all_of([r.event for r in requests])
+        return values
+
+    def waitany(self, requests: Sequence[Request]) -> Generator:
+        """Block until one request completes; returns ``(index, value)``."""
+        result = yield self.sim.any_of([r.event for r in requests])
+        return result
+
+    # -- synchronisation ---------------------------------------------------------------
+
+    def barrier(self, tag_base: Optional[int] = None) -> Generator:
+        """Dissemination barrier (``ceil(lg p)`` zero-byte rounds)."""
+        from repro.payload.payload import SymbolicPayload
+
+        if tag_base is None:
+            tag_base = self._alloc_coll_tags()
+        p = self.size
+        if p == 1:
+            return
+        token = SymbolicPayload(0, 1)
+        distance = 1
+        round_no = 0
+        while distance < p:
+            dst = (self.rank + distance) % p
+            src = (self.rank - distance) % p
+            yield from self.sendrecv(
+                dst, token, source=src,
+                send_tag=tag_base + round_no, recv_tag=tag_base + round_no,
+            )
+            distance *= 2
+            round_no += 1
+
+    # -- collectives --------------------------------------------------------------------
+
+    def _alloc_coll_tags(self) -> int:
+        """A tag block for one collective call.
+
+        Every rank must invoke collectives on a communicator in the same
+        order (an MPI requirement), so per-view counters stay aligned.
+        """
+        base = _COLL_TAG_BASE + self._coll_count * _COLL_TAG_SPAN
+        self._coll_count += 1
+        return base
+
+    def allreduce(
+        self, payload: Payload, op: ReduceOp, algorithm: Optional[str] = None, **kwargs
+    ) -> Generator:
+        """Blocking allreduce; returns the fully reduced payload.
+
+        ``algorithm`` picks an entry from the registry
+        (:mod:`repro.mpi.collectives.registry`); ``None`` uses the
+        machine's default selector.
+        """
+        from repro.mpi.collectives.registry import resolve_allreduce
+
+        fn = resolve_allreduce(algorithm, self)
+        tag_base = self._alloc_coll_tags()
+        result = yield from fn(self, payload, op, tag_base=tag_base, **kwargs)
+        return result
+
+    def icoll(self, fn: Callable[..., Generator], *args, **kwargs) -> Request:
+        """Run collective generator ``fn(comm, *args, ...)`` in the
+        background; the request completes with its return value."""
+        req = Request(self.sim, "coll")
+        proc = self.sim.process(
+            fn(self, *args, **kwargs), name=f"icoll r{self.world_rank}"
+        )
+
+        def _done(ev):
+            if ev.ok:
+                req.complete(ev.value)
+            else:
+                req.event.fail(ev.value)
+
+        proc._add_callback(_done)
+        return req
+
+    def iallreduce(
+        self, payload: Payload, op: ReduceOp, algorithm: Optional[str] = None, **kwargs
+    ) -> Request:
+        """Non-blocking allreduce; the request completes with the result."""
+        from repro.mpi.collectives.registry import resolve_allreduce
+
+        fn = resolve_allreduce(algorithm, self)
+        tag_base = self._alloc_coll_tags()
+        return self.icoll(fn, payload, op, tag_base=tag_base, **kwargs)
+
+    def _coll(self, kind: str, algorithm: Optional[str], *args, **kwargs) -> Generator:
+        from repro.mpi.collectives.registry import resolve_collective
+
+        fn = resolve_collective(kind, algorithm, self)
+        tag_base = self._alloc_coll_tags()
+        result = yield from fn(self, *args, tag_base=tag_base, **kwargs)
+        return result
+
+    def _icoll(self, kind: str, algorithm: Optional[str], *args, **kwargs) -> Request:
+        from repro.mpi.collectives.registry import resolve_collective
+
+        fn = resolve_collective(kind, algorithm, self)
+        tag_base = self._alloc_coll_tags()
+        return self.icoll(fn, *args, tag_base=tag_base, **kwargs)
+
+    def reduce(
+        self,
+        payload: Payload,
+        op: ReduceOp,
+        root: int = 0,
+        algorithm: Optional[str] = None,
+        **kwargs,
+    ) -> Generator:
+        """Blocking reduce; returns the result at ``root``, None elsewhere."""
+        result = yield from self._coll(
+            "reduce", algorithm, payload, op, root=root, **kwargs
+        )
+        return result
+
+    def ireduce(
+        self,
+        payload: Payload,
+        op: ReduceOp,
+        root: int = 0,
+        algorithm: Optional[str] = None,
+        **kwargs,
+    ) -> Request:
+        """Non-blocking reduce."""
+        return self._icoll("reduce", algorithm, payload, op, root=root, **kwargs)
+
+    def bcast(
+        self,
+        payload: Optional[Payload],
+        root: int = 0,
+        algorithm: Optional[str] = None,
+        **kwargs,
+    ) -> Generator:
+        """Blocking broadcast; returns the root's payload on every rank.
+
+        Non-root ranks may pass ``None`` (tree algorithms) or, for the
+        ``"auto"`` selector, a placeholder payload of the same count.
+        """
+        result = yield from self._coll(
+            "bcast", algorithm, payload, root=root, **kwargs
+        )
+        return result
+
+    def ibcast(
+        self,
+        payload: Optional[Payload],
+        root: int = 0,
+        algorithm: Optional[str] = None,
+        **kwargs,
+    ) -> Request:
+        """Non-blocking broadcast."""
+        return self._icoll("bcast", algorithm, payload, root=root, **kwargs)
+
+    def allgather(
+        self, payload: Payload, algorithm: Optional[str] = None, **kwargs
+    ) -> Generator:
+        """Blocking allgather; returns the rank-ordered concatenation of
+        every rank's equal-count contribution."""
+        result = yield from self._coll("allgather", algorithm, payload, **kwargs)
+        return result
+
+    def reduce_scatter(
+        self,
+        payload: Payload,
+        op: ReduceOp,
+        algorithm: Optional[str] = None,
+        **kwargs,
+    ) -> Generator:
+        """Blocking reduce-scatter; returns this rank's reduced chunk
+        (chunk boundaries from ``split_bounds(count, size)``)."""
+        result = yield from self._coll(
+            "reduce_scatter", algorithm, payload, op, **kwargs
+        )
+        return result
+
+    def gather(
+        self,
+        payload: Payload,
+        root: int = 0,
+        algorithm: Optional[str] = None,
+        **kwargs,
+    ) -> Generator:
+        """Blocking gather; the root returns the list of contributions."""
+        result = yield from self._coll(
+            "gather", algorithm, payload, root=root, **kwargs
+        )
+        return result
+
+    def scatter(
+        self,
+        payloads,
+        root: int = 0,
+        algorithm: Optional[str] = None,
+        **kwargs,
+    ) -> Generator:
+        """Blocking scatter; the root provides one payload per rank and
+        every rank returns its own."""
+        result = yield from self._coll(
+            "scatter", algorithm, payloads, root=root, **kwargs
+        )
+        return result
+
+    def alltoall(
+        self,
+        blocks,
+        algorithm: Optional[str] = None,
+        **kwargs,
+    ) -> Generator:
+        """Blocking all-to-all; ``blocks[i]`` goes to rank ``i``;
+        returns the list of blocks received, in source-rank order."""
+        result = yield from self._coll("alltoall", algorithm, blocks, **kwargs)
+        return result
+
+    # -- communicator management -----------------------------------------------------------
+
+    def dup(self) -> Generator:
+        """Collective duplicate (``MPI_Comm_dup``): same group, fresh
+        context, so the duplicate's traffic never matches the original's."""
+        new_comm = yield from self.split(color=0, key=self.rank)
+        return new_comm
+
+    def split(self, color: int, key: Optional[int] = None) -> Generator:
+        """Collective split (``MPI_Comm_split``); returns this rank's new comm.
+
+        Ranks passing the same ``color`` land in the same communicator,
+        ordered by ``key`` (defaulting to current rank).  Returns
+        ``None`` for ``color < 0`` (``MPI_UNDEFINED``).
+
+        Communicator creation is treated as free setup work: the
+        coordination is bookkeeping only and advances no simulated time
+        (the paper's measurements likewise exclude communicator setup).
+        """
+        if key is None:
+            key = self.rank
+        call_no = self._split_count
+        self._split_count += 1
+        group = self.group
+        state = group._split_calls.get(call_no)
+        if state is None:
+            state = {"args": {}, "event": self.sim.event()}
+            group._split_calls[call_no] = state
+        state["args"][self.rank] = (color, key)
+
+        if len(state["args"]) == len(group.ranks):
+            # Last member to arrive computes the split for everyone.
+            by_color: dict[int, list[tuple[int, int]]] = {}
+            for member, (col, k) in state["args"].items():
+                if col >= 0:
+                    by_color.setdefault(col, []).append((k, member))
+            assignment: dict[int, Optional[Group]] = {
+                member: None for member in state["args"]
+            }
+            for col in sorted(by_color):
+                members = [m for _, m in sorted(by_color[col])]
+                new_group = Group(
+                    [group.ranks[m] for m in members],
+                    self.runtime.next_context(),
+                )
+                for m in members:
+                    assignment[m] = new_group
+            del group._split_calls[call_no]
+            state["event"].succeed(assignment)
+
+        assignment = yield state["event"]
+        new_group = assignment[self.rank]
+        if new_group is None:
+            return None
+        return Comm(self.runtime, new_group, self.world_rank)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Comm rank {self.rank}/{self.size} ctx={self.group.context} "
+            f"(world rank {self.world_rank})>"
+        )

@@ -1,0 +1,186 @@
+"""Per-rank message matching engine.
+
+Implements MPI's matching rules:
+
+* a receive matches the *oldest* arrived-or-arriving message whose
+  ``(source, tag, context)`` satisfies its (possibly wildcarded)
+  criteria;
+* **non-overtaking**: two messages from the same sender to the same
+  receiver match in the order they were *sent*.  The transport layer
+  may deliver them out of order (a tiny rendezvous RTS can overtake a
+  chunked eager message on the wire), so arrivals carry a per-sender
+  sequence number and are admitted to matching strictly in sequence.
+
+The matcher is pure bookkeeping — it advances no simulated time itself;
+protocol costs are charged by :mod:`repro.mpi.transport` around the
+calls.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Optional
+
+from repro.errors import MPIError
+
+__all__ = ["Envelope", "PostedRecv", "Matcher", "ANY"]
+
+# Wildcard sentinel shared by source and tag matching.
+ANY = -1
+
+# Envelope kinds.
+EAGER = "eager"
+RTS = "rts"  # rendezvous request-to-send; payload follows out-of-band
+
+
+class Envelope:
+    """One in-flight message as seen by the matcher."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "tag",
+        "context",
+        "kind",
+        "payload",
+        "nbytes",
+        "seq",
+        "rndv",
+        "was_unexpected",
+    )
+
+    def __init__(
+        self,
+        src: int,
+        dst: int,
+        tag: int,
+        context: int,
+        kind: str,
+        payload,
+        nbytes: int,
+        seq: int,
+        rndv=None,
+    ):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.context = context
+        self.kind = kind
+        self.payload = payload
+        self.nbytes = nbytes
+        self.seq = seq
+        self.rndv = rndv
+        self.was_unexpected = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Envelope {self.kind} {self.src}->{self.dst} tag={self.tag} "
+            f"ctx={self.context} seq={self.seq} {self.nbytes}B>"
+        )
+
+
+class PostedRecv:
+    """A receive waiting for a matching message."""
+
+    __slots__ = ("src", "tag", "context", "on_match")
+
+    def __init__(
+        self, src: int, tag: int, context: int, on_match: Callable[[Envelope], None]
+    ):
+        self.src = src
+        self.tag = tag
+        self.context = context
+        self.on_match = on_match
+
+    def matches(self, env: Envelope) -> bool:
+        """Whether ``env`` satisfies this receive's criteria."""
+        if env.context != self.context:
+            return False
+        if self.src != ANY and env.src != self.src:
+            return False
+        if self.tag != ANY and env.tag != self.tag:
+            return False
+        return True
+
+
+class Matcher:
+    """Matching engine of one rank."""
+
+    __slots__ = ("rank", "_posted", "_unexpected", "_next_seq", "_ooo")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self._posted: deque[PostedRecv] = deque()
+        self._unexpected: deque[Envelope] = deque()
+        # Per-sender sequence bookkeeping for non-overtaking admission.
+        self._next_seq: dict[int, int] = {}
+        self._ooo: dict[int, dict[int, Envelope]] = {}
+
+    # -- sender side -----------------------------------------------------------
+
+    def arrive(self, env: Envelope) -> None:
+        """Deliver a (possibly out-of-order) envelope from the wire."""
+        if env.dst != self.rank:
+            raise MPIError(f"envelope for rank {env.dst} delivered to {self.rank}")
+        expected = self._next_seq.get(env.src, 0)
+        if env.seq != expected:
+            if env.seq < expected:
+                raise MPIError(f"duplicate sequence number on {env!r}")
+            self._ooo.setdefault(env.src, {})[env.seq] = env
+            return
+        self._admit(env)
+        # Drain any buffered successors that are now in order.
+        stash = self._ooo.get(env.src)
+        while stash:
+            nxt = self._next_seq[env.src]
+            pending = stash.pop(nxt, None)
+            if pending is None:
+                break
+            self._admit(pending)
+
+    def _admit(self, env: Envelope) -> None:
+        self._next_seq[env.src] = env.seq + 1
+        for i, posted in enumerate(self._posted):
+            if posted.matches(env):
+                del self._posted[i]
+                posted.on_match(env)
+                return
+        env.was_unexpected = True
+        self._unexpected.append(env)
+
+    # -- receiver side -----------------------------------------------------------
+
+    def post(
+        self,
+        src: int,
+        tag: int,
+        context: int,
+        on_match: Callable[[Envelope], None],
+    ) -> None:
+        """Post a receive; fires ``on_match`` immediately if a buffered
+        unexpected message already satisfies it."""
+        posted = PostedRecv(src, tag, context, on_match)
+        for i, env in enumerate(self._unexpected):
+            if posted.matches(env):
+                del self._unexpected[i]
+                on_match(env)
+                return
+        self._posted.append(posted)
+
+    # -- introspection (tests, deadlock reports) --------------------------------
+
+    @property
+    def n_posted(self) -> int:
+        """Receives still waiting for a message."""
+        return len(self._posted)
+
+    @property
+    def n_unexpected(self) -> int:
+        """Buffered messages nobody has asked for yet."""
+        return len(self._unexpected)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Matcher rank={self.rank} posted={len(self._posted)} "
+            f"unexpected={len(self._unexpected)}>"
+        )

@@ -1,0 +1,164 @@
+"""Job launch: turn a per-rank function into a finished simulation.
+
+>>> from repro.machine.clusters import cluster_b
+>>> from repro.mpi.runtime import run_job
+>>> from repro.payload import SUM, make_payload
+>>>
+>>> def main(comm):
+...     data = make_payload(4, data=[comm.rank] * 4)
+...     result = yield from comm.allreduce(data, SUM)
+...     return float(result.array[0])
+>>>
+>>> result = run_job(cluster_b(nodes=2), nranks=4, fn=main, ppn=2)
+>>> result.values
+[6.0, 6.0, 6.0, 6.0]
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional, Sequence, Union
+
+from repro.errors import MPIError
+from repro.machine.config import MachineConfig
+from repro.machine.machine import Machine
+from repro.mpi.comm import Comm, Group
+from repro.mpi.shm import ShmRegion
+from repro.mpi.transport import Transport
+from repro.sim import Simulator, Tracer
+
+__all__ = ["Runtime", "JobResult", "run_job"]
+
+RankFn = Callable[..., Generator]
+
+
+class Runtime:
+    """MPI runtime for one job on one machine."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.sim = machine.sim
+        self.transport = Transport(machine)
+        self._context_counter = itertools.count(1)
+        self._world_group = Group(range(machine.nranks), context=0)
+        self._shm_regions: dict[int, ShmRegion] = {}
+        # Rendezvous gates for operations coordinated outside the p2p
+        # matching path (e.g. one SHArP tree operation shared by all
+        # leaders); see gate().
+        self._gates: dict = {}
+
+    def shm_region(self, node: int) -> ShmRegion:
+        """The shared-memory rendezvous region of ``node``."""
+        region = self._shm_regions.get(node)
+        if region is None:
+            region = self._shm_regions[node] = ShmRegion(self.sim)
+        return region
+
+    def gate(self, key, parties: int):
+        """Arrive at a ``parties``-way rendezvous identified by ``key``.
+
+        Returns ``(event, is_last)``: ``is_last`` is True for the final
+        arriver (who typically performs the shared work and then
+        triggers the event for everyone).
+        """
+        state = self._gates.get(key)
+        if state is None:
+            state = self._gates[key] = {"event": self.sim.event(), "arrived": 0}
+        state["arrived"] += 1
+        if state["arrived"] > parties:
+            raise MPIError(f"gate {key!r} overfilled ({state['arrived']}/{parties})")
+        is_last = state["arrived"] == parties
+        if is_last:
+            del self._gates[key]
+        return state["event"], is_last
+
+    def gate_exchange(self, key, parties: int, item):
+        """Like :meth:`gate`, but collects one ``item`` per arriver.
+
+        Returns ``(event, is_last, items)``; ``items`` is the full list
+        for the last arriver and ``None`` for everyone else.
+        """
+        state = self._gates.get(key)
+        if state is None:
+            state = self._gates[key] = {"event": self.sim.event(), "items": []}
+        state["items"].append(item)
+        if len(state["items"]) > parties:
+            raise MPIError(f"gate {key!r} overfilled ({len(state['items'])}/{parties})")
+        if len(state["items"]) == parties:
+            del self._gates[key]
+            return state["event"], True, state["items"]
+        return state["event"], False, None
+
+    def next_context(self) -> int:
+        """Fresh communicator context id (deterministic)."""
+        return next(self._context_counter)
+
+    def world_comm(self, rank: int) -> Comm:
+        """COMM_WORLD view for ``rank``."""
+        return Comm(self, self._world_group, rank)
+
+    def launch(
+        self,
+        fn: RankFn,
+        *,
+        args: Sequence = (),
+        kwargs: Optional[dict] = None,
+    ) -> "JobResult":
+        """Run ``fn(comm, *args, **kwargs)`` on every rank to completion."""
+        kwargs = kwargs or {}
+        procs = []
+        for rank in range(self.machine.nranks):
+            comm = self.world_comm(rank)
+            gen = fn(comm, *args, **kwargs)
+            if not hasattr(gen, "send"):
+                raise MPIError(
+                    f"rank function {getattr(fn, '__name__', fn)!r} must be a "
+                    "generator (use 'yield from comm....' inside it)"
+                )
+            procs.append(self.sim.process(gen, name=f"rank{rank}"))
+        self.sim.run()
+        return JobResult(
+            values=[p.value for p in procs],
+            elapsed=self.sim.now,
+            machine=self.machine,
+            tracer=self.machine.tracer,
+        )
+
+
+@dataclass
+class JobResult:
+    """Outcome of one simulated MPI job."""
+
+    values: list  #: per-rank return values of the rank function
+    elapsed: float  #: simulated seconds until the last rank finished
+    machine: Machine = field(repr=False)
+    tracer: Tracer = field(repr=False)
+
+    def value(self, rank: int = 0) -> Any:
+        """Return value of one rank."""
+        return self.values[rank]
+
+
+def run_job(
+    config_or_machine: Union[MachineConfig, Machine],
+    nranks: int,
+    fn: RankFn,
+    *,
+    ppn: Optional[int] = None,
+    trace: bool = False,
+    sim: Optional[Simulator] = None,
+    args: Sequence = (),
+    kwargs: Optional[dict] = None,
+) -> JobResult:
+    """Build a machine (if needed), launch ``fn`` on ``nranks``, run to end."""
+    if isinstance(config_or_machine, Machine):
+        machine = config_or_machine
+        if machine.nranks != nranks:
+            raise MPIError(
+                f"machine was built for {machine.nranks} ranks, job wants {nranks}"
+            )
+    else:
+        machine = Machine(config_or_machine, nranks, ppn, sim=sim, trace=trace)
+    runtime = Runtime(machine)
+    return runtime.launch(fn, args=args, kwargs=kwargs)

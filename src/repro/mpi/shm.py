@@ -1,0 +1,75 @@
+"""Shared-memory regions for intra-node collective phases.
+
+A :class:`ShmRegion` is a per-node key/value rendezvous space standing
+in for the mmap'd segment MVAPICH2 uses for its shared-memory
+collectives.  Values appear under unique keys (the caller includes its
+communicator context and collective tag block in the key, so concurrent
+collectives never collide), and readers block until the writer has
+deposited — this data-flow dependency *is* the flag synchronisation of
+the DPML phases; the copy and flag costs are charged separately by the
+callers through :class:`~repro.machine.machine.Machine`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Hashable
+
+from repro.errors import MPIError
+from repro.sim import Event, Simulator
+
+__all__ = ["ShmRegion"]
+
+
+class ShmRegion:
+    """Key/value rendezvous space of one node."""
+
+    __slots__ = ("sim", "_data", "_waiters", "_reads_left")
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._data: dict[Hashable, Any] = {}
+        self._waiters: dict[Hashable, list[Event]] = {}
+        self._reads_left: dict[Hashable, int] = {}
+
+    def put(self, key: Hashable, value: Any) -> None:
+        """Deposit ``value`` under ``key``; wakes all blocked readers."""
+        if key in self._data:
+            raise MPIError(f"shm key {key!r} written twice")
+        self._data[key] = value
+        for ev in self._waiters.pop(key, ()):  # wake in wait order
+            ev.succeed(value)
+
+    def _wait(self, key: Hashable) -> Event:
+        ev = Event(self.sim)
+        if key in self._data:
+            ev.succeed(self._data[key])
+        else:
+            self._waiters.setdefault(key, []).append(ev)
+        return ev
+
+    def take(self, key: Hashable) -> Event:
+        """Event firing with the value; the single consumer removes it."""
+        ev = self._wait(key)
+        ev._add_callback(lambda _e: self._data.pop(key, None))
+        return ev
+
+    def read(self, key: Hashable, readers: int) -> Event:
+        """Event firing with the value; auto-removed after ``readers`` reads."""
+        ev = self._wait(key)
+
+        def _count(_e: Event) -> None:
+            left = self._reads_left.get(key, readers) - 1
+            if left <= 0:
+                self._data.pop(key, None)
+                self._reads_left.pop(key, None)
+            else:
+                self._reads_left[key] = left
+
+        ev._add_callback(_count)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ShmRegion entries={len(self._data)} waiters={len(self._waiters)}>"

@@ -1,0 +1,263 @@
+"""Message transport: moves payloads between ranks, charging time.
+
+Protocol selection mirrors MVAPICH2:
+
+* **eager** (``nbytes <= fabric.eager_threshold``): the payload moves
+  immediately; an unexpected arrival is buffered at the receiver and
+  costs an extra copy when finally matched;
+* **rendezvous** (larger): a zero-byte RTS control message is matched
+  first, the receiver answers with a CTS, and only then does the
+  payload move (zero-copy on the receive side).
+
+Inter-node messages pass through: the sender's injection engine
+(per-process overhead + per-byte injection — the per-process bandwidth
+and message-rate limits of Section 3), the source node's TX NIC
+pipeline (chunked, so concurrent flows interleave), the wire latency,
+and the destination's RX pipeline.  Intra-node messages cost
+shared-memory copies on the participating cores plus the node memory
+engine (eager uses the classic double copy through a shm FIFO;
+rendezvous does a single copy).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.machine.machine import Machine
+from repro.mpi.matching import ANY, EAGER, RTS, Envelope, Matcher
+from repro.mpi.request import Request
+from repro.payload.payload import Payload
+from repro.sim import Event
+
+__all__ = ["Transport", "RndvState"]
+
+
+class RndvState:
+    """Out-of-band events of one rendezvous exchange."""
+
+    __slots__ = ("cts", "data_done")
+
+    def __init__(self, transport: "Transport"):
+        sim = transport.sim
+        self.cts = Event(sim)  # fired at the sender when the CTS arrives
+        self.data_done = Event(sim)  # fired at the receiver with the payload
+
+
+class Transport:
+    """Moves messages for one job on one machine."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.sim = machine.sim
+        self.matchers = [Matcher(r) for r in range(machine.nranks)]
+        self._seq: dict[tuple[int, int], int] = {}
+
+    # -- public API (called by Comm) -------------------------------------------
+
+    def isend(
+        self, src: int, dst: int, payload: Payload, tag: int, context: int
+    ) -> Request:
+        """Start a non-blocking send; the request completes when the
+        send buffer is reusable (MPI local-completion semantics)."""
+        req = Request(self.sim, "send", source=src, tag=tag)
+        seq = self._next_seq(src, dst)
+        nbytes = payload.nbytes
+
+        if src == dst:
+            env = Envelope(src, dst, tag, context, EAGER, payload, nbytes, seq)
+            self.matchers[dst].arrive(env)
+            req.complete()
+            return req
+
+        machine = self.machine
+        eager = nbytes <= machine.config.fabric.eager_threshold
+        if machine.same_node(src, dst):
+            gen = (
+                self._send_eager_intra(src, dst, payload, tag, context, seq, req)
+                if eager
+                else self._send_rndv_intra(src, dst, payload, tag, context, seq, req)
+            )
+        else:
+            gen = (
+                self._send_eager_inter(src, dst, payload, tag, context, seq, req)
+                if eager
+                else self._send_rndv_inter(src, dst, payload, tag, context, seq, req)
+            )
+        self.sim.process(gen, name=f"send r{src}->r{dst} tag={tag}")
+        return req
+
+    def irecv(self, rank: int, src: int, tag: int, context: int) -> Request:
+        """Post a non-blocking receive; completes with the payload."""
+        req = Request(self.sim, "recv", source=src, tag=tag)
+
+        def on_match(env: Envelope) -> None:
+            if env.kind == EAGER:
+                self.sim.process(
+                    self._finish_eager_recv(rank, env, req),
+                    name=f"recv r{rank} finish",
+                )
+            else:
+                self.sim.process(
+                    self._rndv_receiver(rank, env, req),
+                    name=f"recv r{rank} rndv",
+                )
+
+        self.matchers[rank].post(src, tag, context, on_match)
+        return req
+
+    # -- sequence numbers -------------------------------------------------------
+
+    def _next_seq(self, src: int, dst: int) -> int:
+        key = (src, dst)
+        seq = self._seq.get(key, 0)
+        self._seq[key] = seq + 1
+        return seq
+
+    # -- inter-node paths ---------------------------------------------------------
+
+    def _wire(self, src_node: int, dst_node: int, nbytes: int) -> Generator:
+        """Chunked NIC TX → fabric links → NIC RX pipeline for one message.
+
+        Without a link-level topology the fabric is a pure
+        ``wire_latency`` delay; with one, every chunk also queues on the
+        routed uplink/downlink stages (cut-through at chunk
+        granularity).
+        """
+        machine = self.machine
+        sim = self.sim
+        tx = machine.nic_tx[src_node]
+        latency = machine.config.fabric.wire_latency
+        fabric_stages = machine.fabric_stages(src_node, dst_node)
+        rx_chunks = []
+        for chunk in machine.nic_chunks(nbytes):
+            service = machine.nic_service(chunk)
+            yield tx.submit(service)
+            rx_chunks.append(
+                sim.process(
+                    self._chunk_path(dst_node, chunk, service, latency, fabric_stages)
+                )
+            )
+        yield sim.all_of(rx_chunks)
+
+    def _chunk_path(
+        self, dst_node: int, chunk: int, nic_service: float, latency: float,
+        fabric_stages,
+    ) -> Generator:
+        for stage in fabric_stages:
+            yield self.sim.timeout(stage.latency)
+            yield stage.queue.submit(stage.service(chunk))
+        yield self.sim.timeout(latency)
+        yield self.machine.nic_rx[dst_node].submit(nic_service)
+
+    def _send_eager_inter(self, src, dst, payload, tag, context, seq, req) -> Generator:
+        machine = self.machine
+        nbytes = payload.nbytes
+        yield machine.engine_submit(
+            src, machine.injection_service(nbytes), "net-send"
+        )
+        machine.tracer.charge("net-send", machine.injection_service(nbytes))
+        req.complete()
+        yield from self._wire(machine.node_of(src), machine.node_of(dst), nbytes)
+        env = Envelope(src, dst, tag, context, EAGER, payload, nbytes, seq)
+        self.matchers[dst].arrive(env)
+
+    def _send_rndv_inter(self, src, dst, payload, tag, context, seq, req) -> Generator:
+        machine = self.machine
+        nbytes = payload.nbytes
+        rndv = RndvState(self)
+        env = Envelope(src, dst, tag, context, RTS, None, nbytes, seq, rndv=rndv)
+        # RTS control message (zero bytes) travels the ordered stream.
+        yield machine.engine_submit(src, machine.injection_service(0), "net-ctrl")
+        yield from self._wire(machine.node_of(src), machine.node_of(dst), 0)
+        self.matchers[dst].arrive(env)
+        # Wait for the receiver's clear-to-send.
+        yield rndv.cts
+        yield machine.engine_submit(
+            src, machine.injection_service(nbytes), "net-send"
+        )
+        machine.tracer.charge("net-send", machine.injection_service(nbytes))
+        req.complete()
+        yield from self._wire(machine.node_of(src), machine.node_of(dst), nbytes)
+        rndv.data_done.succeed(payload)
+
+    def _finish_eager_recv(self, rank: int, env: Envelope, req: Request) -> Generator:
+        machine = self.machine
+        if machine.same_node(env.src, rank) and env.src != rank:
+            # Copy out of the shm FIFO into the user buffer.
+            cross = not machine.same_socket(env.src, rank)
+            yield from machine.shm_copy(rank, env.nbytes, cross_socket=cross)
+        else:
+            service = machine.reception_service(env.nbytes)
+            if env.was_unexpected and env.nbytes:
+                # Extra copy out of the bounce buffer.
+                service += env.nbytes * machine.config.node.copy_byte_time
+            yield machine.engine_submit(rank, service, "net-recv")
+        req.complete(env.payload)
+
+    def _rndv_receiver(self, rank: int, env: Envelope, req: Request) -> Generator:
+        machine = self.machine
+        rndv = env.rndv
+        if machine.same_node(env.src, rank):
+            # Post the "ready" flag in shared memory.
+            yield from machine.flag_sync()
+            rndv.cts.succeed()
+            payload = yield rndv.data_done
+            yield from machine.flag_sync()
+        else:
+            # CTS control message back to the sender.
+            yield machine.engine_submit(rank, machine.injection_service(0), "net-ctrl")
+            yield from self._wire(machine.node_of(rank), machine.node_of(env.src), 0)
+            rndv.cts.succeed()
+            payload = yield rndv.data_done
+            yield machine.engine_submit(
+                rank, machine.reception_service(env.nbytes), "net-recv"
+            )
+        req.complete(payload)
+
+    # -- intra-node paths ----------------------------------------------------------
+
+    def _send_eager_intra(self, src, dst, payload, tag, context, seq, req) -> Generator:
+        machine = self.machine
+        nbytes = payload.nbytes
+        cross = not machine.same_socket(src, dst)
+        # Copy into the shm FIFO (the sender's core does the work, so we
+        # serialize it on the sender's engine).
+        node = machine.config.node
+        byte_time = node.copy_byte_time * (node.intersocket_byte_factor if cross else 1.0)
+        service = node.copy_latency + nbytes * byte_time
+        yield machine.engine_submit(src, service, "copy")
+        machine.tracer.charge("copy", service)
+        mem_service = nbytes * node.mem_byte_time
+        if mem_service > 0:
+            yield machine.mem[machine.node_of(src)].submit(mem_service)
+        req.complete()
+        yield self.sim.timeout(node.flag_latency)
+        env = Envelope(src, dst, tag, context, EAGER, payload, nbytes, seq)
+        self.matchers[dst].arrive(env)
+
+    def _send_rndv_intra(self, src, dst, payload, tag, context, seq, req) -> Generator:
+        machine = self.machine
+        nbytes = payload.nbytes
+        rndv = RndvState(self)
+        env = Envelope(src, dst, tag, context, RTS, None, nbytes, seq, rndv=rndv)
+        yield from machine.flag_sync()
+        self.matchers[dst].arrive(env)
+        yield rndv.cts
+        # Single copy straight into the receiver's buffer (CMA-style).
+        cross = not machine.same_socket(src, dst)
+        node = machine.config.node
+        byte_time = node.copy_byte_time * (node.intersocket_byte_factor if cross else 1.0)
+        service = node.copy_latency + nbytes * byte_time
+        yield machine.engine_submit(src, service, "copy")
+        machine.tracer.charge("copy", service)
+        mem_service = nbytes * node.mem_byte_time
+        if mem_service > 0:
+            yield machine.mem[machine.node_of(src)].submit(mem_service)
+        req.complete()
+        rndv.data_done.succeed(payload)
+
+    # -- introspection -------------------------------------------------------------
+
+    def matcher(self, rank: int) -> Matcher:
+        """The matching engine of ``rank`` (tests and deadlock reports)."""
+        return self.matchers[rank]

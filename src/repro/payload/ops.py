@@ -1,0 +1,71 @@
+"""Reduction operators (the ``op`` argument of ``MPI_Allreduce``).
+
+Each operator wraps a binary numpy ufunc plus the algebraic properties
+collective algorithms rely on: the predefined MPI reduction operators
+are associative and commutative, which is what allows recursive
+doubling, reduce-scatter and DPML to reorder the combines freely.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["ReduceOp", "SUM", "MAX", "MIN", "PROD", "BAND", "BOR", "predefined_ops"]
+
+
+@dataclass(frozen=True)
+class ReduceOp:
+    """A binary reduction operator.
+
+    Parameters
+    ----------
+    name:
+        Human-readable name (``"sum"``, ``"max"``, ...).
+    ufunc:
+        Binary numpy ufunc applied element-wise.
+    commutative:
+        Whether operand order may be swapped.  All operators shipped
+        here are commutative; user-defined non-commutative operators are
+        accepted by the tree-ordered algorithms only.
+    identity:
+        Identity element, when one exists (used by tests).
+    """
+
+    name: str
+    ufunc: Callable = field(compare=False)
+    commutative: bool = True
+    identity: float | None = None
+
+    def apply(self, a: np.ndarray, b: np.ndarray, out: np.ndarray | None = None):
+        """Element-wise ``a op b`` (optionally into ``out``)."""
+        if out is None:
+            return self.ufunc(a, b)
+        return self.ufunc(a, b, out=out)
+
+    def reduce_stack(self, arrays: list[np.ndarray]) -> np.ndarray:
+        """Fold a list of equal-length arrays down to one array."""
+        if not arrays:
+            raise ValueError("cannot reduce an empty list of arrays")
+        acc = np.array(arrays[0], copy=True)
+        for arr in arrays[1:]:
+            self.ufunc(acc, arr, out=acc)
+        return acc
+
+    def __repr__(self) -> str:
+        return f"ReduceOp({self.name})"
+
+
+SUM = ReduceOp("sum", np.add, commutative=True, identity=0.0)
+PROD = ReduceOp("prod", np.multiply, commutative=True, identity=1.0)
+MAX = ReduceOp("max", np.maximum, commutative=True, identity=-np.inf)
+MIN = ReduceOp("min", np.minimum, commutative=True, identity=np.inf)
+BAND = ReduceOp("band", np.bitwise_and, commutative=True, identity=None)
+BOR = ReduceOp("bor", np.bitwise_or, commutative=True, identity=0)
+
+
+def predefined_ops() -> dict[str, ReduceOp]:
+    """Name → operator map of the predefined MPI-style reductions."""
+    return {op.name: op for op in (SUM, PROD, MAX, MIN, BAND, BOR)}

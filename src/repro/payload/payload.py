@@ -1,0 +1,291 @@
+"""Payload vectors: real numpy data or symbolic size-only stand-ins.
+
+Partitioning semantics
+----------------------
+:meth:`Payload.split` uses ``numpy.array_split`` boundaries: splitting
+``count`` elements into ``parts`` pieces gives the first
+``count % parts`` pieces ``ceil(count / parts)`` elements and the rest
+``floor(count / parts)``.  DPML leaders own these exact partitions, so a
+count that is not divisible by the leader count is handled naturally
+(including pieces of zero elements when ``parts > count``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import PayloadError
+from repro.payload.ops import ReduceOp
+
+__all__ = [
+    "Payload",
+    "DataPayload",
+    "SymbolicPayload",
+    "concat",
+    "make_payload",
+    "split_bounds",
+]
+
+
+def split_bounds(count: int, parts: int) -> list[tuple[int, int]]:
+    """``numpy.array_split``-compatible ``(start, stop)`` bounds.
+
+    >>> split_bounds(10, 3)
+    [(0, 4), (4, 7), (7, 10)]
+    """
+    if parts < 1:
+        raise PayloadError(f"cannot split into {parts} parts")
+    base, extra = divmod(count, parts)
+    bounds = []
+    start = 0
+    for i in range(parts):
+        size = base + (1 if i < extra else 0)
+        bounds.append((start, start + size))
+        start += size
+    return bounds
+
+
+class Payload:
+    """Abstract 1-D message vector.
+
+    Attributes
+    ----------
+    count:
+        Number of elements.
+    itemsize:
+        Bytes per element.
+    """
+
+    __slots__ = ()
+
+    count: int
+    itemsize: int
+
+    @property
+    def nbytes(self) -> int:
+        """Total size in bytes."""
+        return self.count * self.itemsize
+
+    # -- interface ----------------------------------------------------------
+
+    def slice(self, start: int, stop: int) -> "Payload":
+        """Sub-vector ``[start:stop]`` (a copy, like an MPI buffer)."""
+        raise NotImplementedError
+
+    def reduce(self, other: "Payload", op: ReduceOp) -> "Payload":
+        """Element-wise ``self op other`` as a new payload."""
+        raise NotImplementedError
+
+    def copy(self) -> "Payload":
+        """Independent copy."""
+        raise NotImplementedError
+
+    # -- shared helpers ------------------------------------------------------
+
+    def split(self, parts: int) -> list["Payload"]:
+        """Partition into ``parts`` pieces with :func:`split_bounds`."""
+        return [self.slice(a, b) for a, b in split_bounds(self.count, parts)]
+
+    def _check_compatible(self, other: "Payload") -> None:
+        if self.count != other.count:
+            raise PayloadError(
+                f"cannot reduce payloads of different lengths "
+                f"({self.count} vs {other.count})"
+            )
+        if self.itemsize != other.itemsize:
+            raise PayloadError(
+                f"cannot reduce payloads of different item sizes "
+                f"({self.itemsize} vs {other.itemsize})"
+            )
+
+
+class DataPayload(Payload):
+    """Payload backed by a real 1-D numpy array."""
+
+    __slots__ = ("array",)
+
+    def __init__(self, array: np.ndarray):
+        arr = np.asarray(array)
+        if arr.ndim != 1:
+            raise PayloadError(f"payload arrays must be 1-D, got shape {arr.shape}")
+        self.array = arr
+
+    @property
+    def count(self) -> int:  # type: ignore[override]
+        return int(self.array.shape[0])
+
+    @property
+    def itemsize(self) -> int:  # type: ignore[override]
+        return int(self.array.dtype.itemsize)
+
+    def slice(self, start: int, stop: int) -> "DataPayload":
+        return DataPayload(self.array[start:stop].copy())
+
+    def reduce(self, other: Payload, op: ReduceOp) -> "DataPayload":
+        self._check_compatible(other)
+        if isinstance(other, SymbolicPayload):
+            raise PayloadError("cannot mix data and symbolic payloads in reduce()")
+        assert isinstance(other, DataPayload)
+        return DataPayload(op.apply(self.array, other.array))
+
+    def copy(self) -> "DataPayload":
+        return DataPayload(self.array.copy())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"DataPayload(count={self.count}, dtype={self.array.dtype})"
+
+
+class SymbolicPayload(Payload):
+    """Payload that tracks only its shape — no data, no arithmetic.
+
+    Used for large-scale timing runs: the simulated cost of copying,
+    sending and reducing depends only on ``nbytes``, so carrying real
+    arrays through a 10,240-rank simulation would be pure overhead.
+    """
+
+    __slots__ = ("_count", "_itemsize")
+
+    def __init__(self, count: int, itemsize: int = 8):
+        if count < 0:
+            raise PayloadError(f"negative element count: {count}")
+        if itemsize <= 0:
+            raise PayloadError(f"non-positive item size: {itemsize}")
+        self._count = int(count)
+        self._itemsize = int(itemsize)
+
+    @property
+    def count(self) -> int:  # type: ignore[override]
+        return self._count
+
+    @property
+    def itemsize(self) -> int:  # type: ignore[override]
+        return self._itemsize
+
+    def slice(self, start: int, stop: int) -> "SymbolicPayload":
+        if not (0 <= start <= stop <= self._count):
+            raise PayloadError(
+                f"slice [{start}:{stop}] out of bounds for count {self._count}"
+            )
+        return SymbolicPayload(stop - start, self._itemsize)
+
+    def reduce(self, other: Payload, op: ReduceOp) -> "SymbolicPayload":
+        self._check_compatible(other)
+        if isinstance(other, DataPayload):
+            raise PayloadError("cannot mix data and symbolic payloads in reduce()")
+        return SymbolicPayload(self._count, self._itemsize)
+
+    def copy(self) -> "SymbolicPayload":
+        return SymbolicPayload(self._count, self._itemsize)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SymbolicPayload(count={self._count}, itemsize={self._itemsize})"
+
+
+class Bundle(Payload):
+    """A structured group of payloads travelling as one message.
+
+    Used by gather/scatter trees to ship a whole subtree's blocks in a
+    single transfer while preserving the per-rank boundaries (the
+    block-count header an MPI implementation would carry costs nothing
+    compared to the data).  The bundle's cost on the wire is the sum of
+    its parts.
+    """
+
+    __slots__ = ("parts",)
+
+    def __init__(self, parts: Sequence[Payload]):
+        if not parts:
+            raise PayloadError("a bundle needs at least one part")
+        self.parts = list(parts)
+
+    @property
+    def count(self) -> int:  # type: ignore[override]
+        return sum(p.count for p in self.parts)
+
+    @property
+    def itemsize(self) -> int:  # type: ignore[override]
+        # Heterogeneous parts are allowed; expose an effective itemsize
+        # only when uniform (nbytes is always exact).
+        sizes = {p.itemsize for p in self.parts}
+        return sizes.pop() if len(sizes) == 1 else 1
+
+    @property
+    def nbytes(self) -> int:  # type: ignore[override]
+        return sum(p.nbytes for p in self.parts)
+
+    def slice(self, start: int, stop: int) -> Payload:
+        raise PayloadError("bundles cannot be sliced; unpack .parts instead")
+
+    def reduce(self, other: Payload, op: ReduceOp) -> Payload:
+        raise PayloadError("bundles cannot be reduced; unpack .parts instead")
+
+    def copy(self) -> "Bundle":
+        return Bundle([p.copy() for p in self.parts])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Bundle({len(self.parts)} parts, {self.nbytes}B)"
+
+
+def concat(parts: Sequence[Payload]) -> Payload:
+    """Concatenate payload pieces back into one vector.
+
+    The inverse of :meth:`Payload.split`: ``concat(p.split(k))`` equals
+    ``p`` for any ``k``.
+    """
+    if not parts:
+        raise PayloadError("cannot concatenate an empty list of payloads")
+    itemsizes = {p.itemsize for p in parts}
+    if len(itemsizes) != 1:
+        raise PayloadError(f"mixed item sizes in concat: {sorted(itemsizes)}")
+    if all(isinstance(p, SymbolicPayload) for p in parts):
+        return SymbolicPayload(sum(p.count for p in parts), parts[0].itemsize)
+    if all(isinstance(p, DataPayload) for p in parts):
+        return DataPayload(np.concatenate([p.array for p in parts]))
+    raise PayloadError("cannot concatenate a mix of data and symbolic payloads")
+
+
+def reduce_payloads(parts: Sequence[Payload], op: ReduceOp) -> Payload:
+    """Fold a list of equal-shape payloads down to one (pure data op;
+    the caller charges the simulated compute time)."""
+    if not parts:
+        raise PayloadError("cannot reduce an empty list of payloads")
+    if len(parts) == 1:
+        return parts[0].copy()
+    if all(isinstance(p, DataPayload) for p in parts):
+        first = parts[0]
+        for p in parts[1:]:
+            first._check_compatible(p)
+        return DataPayload(op.reduce_stack([p.array for p in parts]))
+    if all(isinstance(p, SymbolicPayload) for p in parts):
+        first = parts[0]
+        for p in parts[1:]:
+            first._check_compatible(p)
+        return first.copy()
+    raise PayloadError("cannot reduce a mix of data and symbolic payloads")
+
+
+def make_payload(
+    count: int,
+    itemsize: int = 8,
+    *,
+    symbolic: bool = False,
+    data: Iterable | np.ndarray | None = None,
+    dtype=np.float64,
+) -> Payload:
+    """Convenience constructor used by benchmarks and examples.
+
+    ``symbolic=True`` builds a :class:`SymbolicPayload`; otherwise a
+    :class:`DataPayload` is built from ``data`` (or zeros).
+    """
+    if symbolic:
+        if data is not None:
+            raise PayloadError("symbolic payloads cannot carry data")
+        return SymbolicPayload(count, itemsize)
+    if data is None:
+        return DataPayload(np.zeros(count, dtype=dtype))
+    arr = np.asarray(data, dtype=dtype)
+    if arr.shape != (count,):
+        raise PayloadError(f"data shape {arr.shape} does not match count {count}")
+    return DataPayload(arr)

@@ -1,0 +1,49 @@
+"""Discrete-event simulation kernel.
+
+A small, deterministic, generator-coroutine event kernel in the style of
+simpy, specialised for the needs of the cluster models in
+:mod:`repro.machine`:
+
+* :class:`~repro.sim.engine.Simulator` — the event loop (heap of
+  ``(time, seq, event)`` with a monotonically increasing sequence number
+  so same-time events fire in creation order, making every run
+  bit-reproducible).
+* :class:`~repro.sim.engine.Event` / :class:`~repro.sim.engine.Timeout`
+  / :class:`~repro.sim.engine.Process` — the waitables a coroutine can
+  ``yield``.
+* :class:`~repro.sim.engine.AllOf` / :class:`~repro.sim.engine.AnyOf` —
+  composite waits (used by ``MPI_Waitall`` / ``MPI_Waitany``).
+* :class:`~repro.sim.resources.FCFSQueue` — a work-conserving
+  first-come-first-served server used to model NIC pipelines and node
+  memory engines.
+* :class:`~repro.sim.resources.Resource` — counting semaphore with FIFO
+  waiters (used for SHArP operation contexts).
+* :class:`~repro.sim.resources.Store` — an unbounded FIFO mailbox.
+"""
+
+from repro.sim.engine import (
+    AllOf,
+    AnyOf,
+    Event,
+    Process,
+    Simulator,
+    Timeout,
+)
+from repro.sim.resources import FCFSQueue, Resource, Store
+from repro.sim.timeline import Span, Timeline
+from repro.sim.trace import Tracer
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "FCFSQueue",
+    "Process",
+    "Resource",
+    "Simulator",
+    "Span",
+    "Store",
+    "Timeline",
+    "Timeout",
+    "Tracer",
+]

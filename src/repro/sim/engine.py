@@ -1,0 +1,413 @@
+r"""The discrete-event loop: events, processes, and the simulator.
+
+The kernel is deliberately tiny.  A *process* is a Python generator that
+``yield``\ s *waitables* (events).  The simulator owns a binary heap of
+``(time, sequence, event)`` triples; when an event fires, every process
+waiting on it is resumed with the event's value (or has the event's
+exception thrown into it).
+
+Determinism
+-----------
+Two events scheduled for the same timestamp fire in the order they were
+scheduled (ties broken by a monotone sequence counter), so a simulation
+is a pure function of its inputs — crucial for reproducing the paper's
+figures and for debugging collective algorithms.
+
+Deadlock detection
+------------------
+:meth:`Simulator.run` raises :class:`~repro.errors.DeadlockError` when
+the event heap drains while processes are still alive and blocked.  This
+is the simulated analogue of an MPI job hanging on an unmatched receive,
+and it turns subtle collective-algorithm bugs into crisp test failures.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, Optional
+
+from repro.errors import DeadlockError, InterruptError, SimulationError
+
+__all__ = [
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Simulator",
+]
+
+# Event lifecycle states.
+_PENDING = 0  # not yet triggered
+_SCHEDULED = 1  # value decided, sitting in the heap
+_PROCESSED = 2  # callbacks have run; .value is final
+
+
+class Event:
+    """A one-shot occurrence that processes can wait on.
+
+    An event starts *pending*; calling :meth:`succeed` or :meth:`fail`
+    schedules it on the simulator's heap (optionally after a delay), and
+    once the loop reaches it, its callbacks run and it becomes
+    *processed*.  Waiting on an already-processed event resumes the
+    waiter immediately (at the current simulation time).
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "__weakref__")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self.callbacks: list[Callable[["Event"], None]] = []
+        self._value: Any = None
+        self._ok: bool = True
+        self._state: int = _PENDING
+
+    # -- state inspection -------------------------------------------------
+
+    @property
+    def triggered(self) -> bool:
+        """True once a value/exception has been decided."""
+        return self._state != _PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self._state == _PROCESSED
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The success value or failure exception."""
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+
+    def succeed(self, value: Any = None, delay: float = 0.0) -> "Event":
+        """Mark the event successful with ``value`` after ``delay``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._value = value
+        self._ok = True
+        self._state = _SCHEDULED
+        self.sim._schedule(self, delay)
+        return self
+
+    def fail(self, exception: BaseException, delay: float = 0.0) -> "Event":
+        """Mark the event failed with ``exception`` after ``delay``."""
+        if self._state != _PENDING:
+            raise SimulationError(f"{self!r} has already been triggered")
+        if not isinstance(exception, BaseException):
+            raise TypeError("fail() requires an exception instance")
+        self._value = exception
+        self._ok = False
+        self._state = _SCHEDULED
+        self.sim._schedule(self, delay)
+        return self
+
+    # -- internal ----------------------------------------------------------
+
+    def _process(self) -> None:
+        """Run callbacks.  Called exactly once by the event loop."""
+        self._state = _PROCESSED
+        callbacks, self.callbacks = self.callbacks, []
+        for cb in callbacks:
+            cb(self)
+
+    def _add_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Attach ``cb``; fires immediately (via the heap) if processed."""
+        if self._state == _PROCESSED:
+            # Late waiter: resume it at the current time through a fresh
+            # zero-delay event so ordering stays heap-mediated.
+            proxy = Event(self.sim)
+            proxy.callbacks.append(cb)
+            proxy._value = self._value
+            proxy._ok = self._ok
+            proxy._state = _SCHEDULED
+            self.sim._schedule(proxy, 0.0)
+        else:
+            self.callbacks.append(cb)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = {_PENDING: "pending", _SCHEDULED: "scheduled", _PROCESSED: "processed"}
+        return f"<{type(self).__name__} {state[self._state]} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after creation."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self._value = value
+        self._ok = True
+        self._state = _SCHEDULED
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running generator coroutine.
+
+    A process is itself an event: it triggers with the generator's
+    return value when the generator finishes (or with the exception if
+    it raises), so processes can be ``yield``-ed to join them.
+    """
+
+    __slots__ = ("_gen", "_waiting_on", "name")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        gen: Generator[Event, Any, Any],
+        name: str = "",
+    ):
+        if not hasattr(gen, "send"):
+            raise SimulationError(
+                f"Process requires a generator, got {type(gen).__name__}; "
+                "did you forget to call the generator function or to use "
+                "'yield from' inside it?"
+            )
+        super().__init__(sim)
+        self._gen = gen
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(gen, "__name__", "process")
+        sim._live_processes.add(self)
+        # Kick off at the current time.
+        starter = Event(sim)
+        starter._value = None
+        starter._ok = True
+        starter._state = _SCHEDULED
+        starter.callbacks.append(self._resume)
+        sim._schedule(starter, 0.0)
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._state == _PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`InterruptError` into the process.
+
+        The process is resumed at the current simulation time regardless
+        of what it was waiting for (the original wait target stays
+        triggered-able; its resumption of this process is disarmed).
+        """
+        if not self.is_alive:
+            raise SimulationError(f"cannot interrupt finished {self!r}")
+        target = self._waiting_on
+        if target is not None:
+            try:
+                target.callbacks.remove(self._resume)
+            except ValueError:
+                pass
+        self._waiting_on = None
+        proxy = Event(self.sim)
+        proxy._value = InterruptError(cause)
+        proxy._ok = False
+        proxy._state = _SCHEDULED
+        proxy.callbacks.append(self._resume)
+        self.sim._schedule(proxy, 0.0)
+
+    # -- internal ----------------------------------------------------------
+
+    def _resume(self, trigger: Event) -> None:
+        """Advance the generator with the trigger's outcome."""
+        self._waiting_on = None
+        sim = self.sim
+        sim._active_process = self
+        try:
+            if trigger._ok:
+                target = self._gen.send(trigger._value)
+            else:
+                target = self._gen.throw(trigger._value)
+        except StopIteration as stop:
+            sim._active_process = None
+            sim._live_processes.discard(self)
+            self._value = stop.value
+            self._ok = True
+            self._state = _SCHEDULED
+            sim._schedule(self, 0.0)
+            return
+        except BaseException as exc:
+            sim._active_process = None
+            sim._live_processes.discard(self)
+            if not self.callbacks and not sim._catch_process_errors:
+                # Nobody is joining this process: surface the failure.
+                raise
+            self._value = exc
+            self._ok = False
+            self._state = _SCHEDULED
+            sim._schedule(self, 0.0)
+            return
+        sim._active_process = None
+        if not isinstance(target, Event):
+            raise SimulationError(
+                f"process {self.name!r} yielded {target!r}; processes may "
+                "only yield Event instances (Timeout, Process, AllOf, ...)"
+            )
+        if target.sim is not sim:
+            raise SimulationError("yielded an event belonging to another Simulator")
+        self._waiting_on = target
+        target._add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        status = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name!r} {status}>"
+
+
+class AllOf(Event):
+    """Fires once every child event has fired.
+
+    Succeeds with the list of child values (in the order the children
+    were given).  Fails fast with the first child failure.
+    """
+
+    __slots__ = ("_children", "_remaining", "_failed")
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._children = list(events)
+        self._remaining = len(self._children)
+        self._failed = False
+        if self._remaining == 0:
+            self.succeed([])
+            return
+        for child in self._children:
+            child._add_callback(self._on_child)
+
+    def _on_child(self, child: Event) -> None:
+        if self._state != _PENDING or self._failed:
+            return
+        if not child._ok:
+            self._failed = True
+            self.fail(child._value)
+            return
+        self._remaining -= 1
+        if self._remaining == 0:
+            self.succeed([c._value for c in self._children])
+
+
+class AnyOf(Event):
+    """Fires as soon as any child event fires.
+
+    Succeeds with ``(index, value)`` of the first child to complete;
+    fails if that child failed.
+    """
+
+    __slots__ = ("_children",)
+
+    def __init__(self, sim: "Simulator", events: Iterable[Event]):
+        super().__init__(sim)
+        self._children = list(events)
+        if not self._children:
+            raise SimulationError("AnyOf requires at least one event")
+        for idx, child in enumerate(self._children):
+            child._add_callback(self._make_cb(idx))
+
+    def _make_cb(self, idx: int) -> Callable[[Event], None]:
+        def on_child(child: Event) -> None:
+            if self._state != _PENDING:
+                return
+            if child._ok:
+                self.succeed((idx, child._value))
+            else:
+                self.fail(child._value)
+
+        return on_child
+
+
+class Simulator:
+    """The event loop.
+
+    >>> sim = Simulator()
+    >>> def hello():
+    ...     yield sim.timeout(3.0)
+    ...     return sim.now
+    >>> proc = sim.process(hello())
+    >>> sim.run()
+    >>> proc.value
+    3.0
+    """
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._heap: list[tuple[float, int, Event]] = []
+        self._seq: int = 0
+        self._live_processes: set[Process] = set()
+        self._active_process: Optional[Process] = None
+        # When True, a process that dies with an exception stores it on
+        # the Process event instead of propagating out of run().  The MPI
+        # runtime enables this so one failing rank reports cleanly.
+        self._catch_process_errors: bool = False
+
+    # -- factories ----------------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh pending event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay``."""
+        return Timeout(self, delay, value)
+
+    def process(
+        self, gen: Generator[Event, Any, Any], name: str = ""
+    ) -> Process:
+        """Register ``gen`` as a new process starting now."""
+        return Process(self, gen, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        """Event that fires when all ``events`` have fired."""
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        """Event that fires when the first of ``events`` fires."""
+        return AnyOf(self, events)
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"cannot schedule into the past: {delay}")
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+
+    # -- execution ----------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the single next event."""
+        when, _, event = heapq.heappop(self._heap)
+        self.now = when
+        event._process()
+
+    def run(self, until: Optional[float] = None) -> None:
+        """Run until the heap drains or ``until`` is reached.
+
+        Raises :class:`DeadlockError` if the heap drains while processes
+        are still alive (blocked on events nobody will trigger).
+        """
+        heap = self._heap
+        while heap:
+            if until is not None and heap[0][0] > until:
+                self.now = until
+                return
+            self.step()
+        if self._live_processes:
+            blocked = sorted(p.name for p in self._live_processes)
+            preview = ", ".join(blocked[:8])
+            more = "" if len(blocked) <= 8 else f" (+{len(blocked) - 8} more)"
+            raise DeadlockError(
+                f"simulation deadlocked at t={self.now}: "
+                f"{len(blocked)} process(es) still blocked: {preview}{more}",
+                blocked=blocked,
+            )
+
+    def peek(self) -> float:
+        """Time of the next scheduled event (inf if none)."""
+        return self._heap[0][0] if self._heap else float("inf")

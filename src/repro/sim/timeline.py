@@ -1,0 +1,111 @@
+"""Per-rank execution timelines with Chrome-trace export.
+
+When a :class:`Timeline` is attached to a machine, the charged
+primitives (compute, copies, injections, SHArP operations) record
+spans.  The result can be inspected programmatically (phase breakdowns
+per rank) or dumped as a Chrome ``chrome://tracing`` /
+`Perfetto <https://ui.perfetto.dev>`_ JSON file, giving the classic
+"what was every rank doing during this allreduce" view.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+__all__ = ["Span", "Timeline"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """One recorded activity interval."""
+
+    category: str  #: "compute", "copy", "net-send", "sharp", ...
+    name: str  #: human-readable label
+    rank: int  #: acting rank (or -1 for shared hardware)
+    start: float  #: seconds (simulated)
+    end: float
+
+    @property
+    def duration(self) -> float:
+        """Span length in simulated seconds."""
+        return self.end - self.start
+
+
+class Timeline:
+    """Accumulates spans; negligible cost when disabled."""
+
+    __slots__ = ("enabled", "spans")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.spans: list[Span] = []
+
+    def record(
+        self, category: str, name: str, rank: int, start: float, end: float
+    ) -> None:
+        """Add one span (no-op when disabled)."""
+        if not self.enabled:
+            return
+        if end < start:
+            raise ValueError(f"span ends before it starts: {start} > {end}")
+        self.spans.append(Span(category, name, rank, start, end))
+
+    # -- queries ---------------------------------------------------------------
+
+    def spans_for(self, rank: int) -> list[Span]:
+        """All spans of one rank, in start order."""
+        return sorted(
+            (s for s in self.spans if s.rank == rank), key=lambda s: s.start
+        )
+
+    def categories(self) -> set[str]:
+        """Distinct categories recorded."""
+        return {s.category for s in self.spans}
+
+    def total_time(self, category: Optional[str] = None) -> float:
+        """Summed span durations (optionally one category)."""
+        return sum(
+            s.duration
+            for s in self.spans
+            if category is None or s.category == category
+        )
+
+    def busiest_rank(self) -> int:
+        """Rank with the most recorded busy time."""
+        if not self.spans:
+            raise ValueError("timeline is empty")
+        totals: dict[int, float] = {}
+        for s in self.spans:
+            totals[s.rank] = totals.get(s.rank, 0.0) + s.duration
+        return max(totals, key=totals.get)
+
+    # -- export ----------------------------------------------------------------
+
+    def to_chrome_trace(self) -> dict:
+        """Chrome Trace-Event-Format dict (complete events, us scale)."""
+        events = [
+            {
+                "name": s.name,
+                "cat": s.category,
+                "ph": "X",
+                "ts": s.start * 1e6,
+                "dur": s.duration * 1e6,
+                "pid": 0,
+                "tid": s.rank,
+            }
+            for s in sorted(self.spans, key=lambda s: (s.rank, s.start))
+        ]
+        return {"traceEvents": events, "displayTimeUnit": "ns"}
+
+    def dump(self, path: str) -> None:
+        """Write the Chrome trace JSON to ``path``."""
+        with open(path, "w") as fh:
+            json.dump(self.to_chrome_trace(), fh)
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeline {len(self.spans)} spans, {sorted(self.categories())}>"

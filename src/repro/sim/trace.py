@@ -1,0 +1,74 @@
+"""Lightweight time accounting for simulated runs.
+
+The machine and MPI layers charge time to named categories (``"copy"``,
+``"compute"``, ``"network"``, ``"sharp"``, ...) on a :class:`Tracer`.
+Benchmarks use the per-category totals to break an allreduce latency
+down into the paper's phases, and tests use them to assert e.g. that the
+compute share shrinks proportionally with the number of leaders.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Iterator
+
+__all__ = ["Tracer"]
+
+
+class Tracer:
+    """Accumulates per-category time and message counters.
+
+    A disabled tracer (the default for big benchmark runs) turns every
+    charge into a no-op so tracing never distorts performance numbers.
+    """
+
+    __slots__ = ("enabled", "time_by_category", "count_by_category")
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self.time_by_category: Counter[str] = Counter()
+        self.count_by_category: Counter[str] = Counter()
+
+    def charge(self, category: str, seconds: float, count: int = 1) -> None:
+        """Add ``seconds`` (and ``count`` occurrences) to ``category``."""
+        if not self.enabled:
+            return
+        self.time_by_category[category] += seconds
+        self.count_by_category[category] += count
+
+    def time(self, category: str) -> float:
+        """Total seconds charged to ``category``."""
+        return self.time_by_category.get(category, 0.0)
+
+    def count(self, category: str) -> int:
+        """Total occurrences charged to ``category``."""
+        return self.count_by_category.get(category, 0)
+
+    def total_time(self) -> float:
+        """Sum over all categories (note: concurrent charges overlap)."""
+        return sum(self.time_by_category.values())
+
+    def reset(self) -> None:
+        """Zero all counters."""
+        self.time_by_category.clear()
+        self.count_by_category.clear()
+
+    def categories(self) -> Iterator[str]:
+        """Iterate over category names seen so far."""
+        return iter(sorted(self.time_by_category))
+
+    def as_dict(self) -> dict[str, dict[str, float]]:
+        """Snapshot ``{category: {"time": s, "count": n}}``."""
+        return {
+            cat: {
+                "time": self.time_by_category[cat],
+                "count": float(self.count_by_category.get(cat, 0)),
+            }
+            for cat in self.time_by_category
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        parts = ", ".join(
+            f"{cat}={self.time_by_category[cat]:.3e}s" for cat in self.categories()
+        )
+        return f"<Tracer {parts or 'empty'}>"

@@ -1,0 +1,131 @@
+"""Tests for the HPCG-like CG kernel."""
+
+import numpy as np
+import pytest
+import scipy.sparse
+import scipy.sparse.linalg
+
+from repro.apps.hpcg import _laplacian_apply, run_hpcg
+from repro.errors import ConfigError
+from repro.machine.clusters import cluster_a, cluster_b
+
+
+def reference_laplacian(nz, ny, nx):
+    """Assembled 7-point Laplacian with Dirichlet boundaries."""
+
+    def idx(z, y, x):
+        return (z * ny + y) * nx + x
+
+    n = nx * ny * nz
+    mat = scipy.sparse.lil_matrix((n, n))
+    for z in range(nz):
+        for y in range(ny):
+            for x in range(nx):
+                i = idx(z, y, x)
+                mat[i, i] = 6.0
+                for dz, dy, dx in [(-1, 0, 0), (1, 0, 0), (0, -1, 0),
+                                   (0, 1, 0), (0, 0, -1), (0, 0, 1)]:
+                    zz, yy, xx = z + dz, y + dy, x + dx
+                    if 0 <= zz < nz and 0 <= yy < ny and 0 <= xx < nx:
+                        mat[i, idx(zz, yy, xx)] = -1.0
+    return mat.tocsr()
+
+
+class TestStencil:
+    def test_matches_assembled_matrix(self):
+        nz, ny, nx = 4, 3, 5
+        rng = np.random.default_rng(0)
+        x = rng.random((nz, ny, nx))
+        zero = np.zeros((ny, nx))
+        y = _laplacian_apply(x, zero, zero)
+        ref = reference_laplacian(nz, ny, nx) @ x.ravel()
+        np.testing.assert_allclose(y.ravel(), ref, rtol=1e-12)
+
+    def test_halo_planes_contribute(self):
+        x = np.ones((2, 2, 2))
+        lo = np.full((2, 2), 5.0)
+        hi = np.zeros((2, 2))
+        y = _laplacian_apply(x, lo, hi)
+        # The z=0 plane sees the lo halo: 6*1 - 5 - (in-volume neighbours)
+        assert y[0, 0, 0] == 6.0 - 5.0 - 1.0 - 1.0 - 1.0
+
+
+class TestDataModeSolve:
+    def test_cg_converges_to_true_solution(self):
+        nz, ny, nx = 3, 4, 4
+        nranks = 4
+        res = run_hpcg(
+            cluster_b(2),
+            nranks=nranks,
+            ppn=2,
+            local_grid=(nz, ny, nx),
+            iterations=500,
+            data_mode=True,
+            allreduce_algorithm="recursive_doubling",
+        )
+        assert res.converged
+        assert res.residual < 1e-8
+        assert res.iterations < 500
+
+    @pytest.mark.parametrize("algorithm", ["dpml", "rabenseifner", "mvapich2"])
+    def test_cg_converges_with_any_allreduce(self, algorithm):
+        res = run_hpcg(
+            cluster_b(2),
+            nranks=4,
+            ppn=2,
+            local_grid=(2, 3, 3),
+            iterations=300,
+            data_mode=True,
+            allreduce_algorithm=algorithm,
+        )
+        assert res.converged
+
+    def test_sharp_ddot_converges_on_cluster_a(self):
+        res = run_hpcg(
+            cluster_a(2),
+            nranks=4,
+            ppn=2,
+            local_grid=(2, 3, 3),
+            iterations=300,
+            data_mode=True,
+            allreduce_algorithm="sharp_socket_leader",
+        )
+        assert res.converged
+
+    def test_single_rank_solve(self):
+        res = run_hpcg(
+            cluster_b(1),
+            nranks=1,
+            ppn=1,
+            local_grid=(3, 3, 3),
+            iterations=200,
+            data_mode=True,
+        )
+        assert res.converged
+
+
+class TestSymbolicMode:
+    def test_reports_positive_times(self):
+        res = run_hpcg(cluster_a(2), nranks=8, ppn=4, iterations=5)
+        assert res.ddot_time > 0
+        assert res.halo_time > 0
+        assert res.total_time > res.ddot_time
+        assert res.residual is None
+
+    def test_ddot_time_grows_with_scale(self):
+        small = run_hpcg(cluster_a(2), nranks=8, ppn=4, iterations=5,
+                         allreduce_algorithm="mvapich2")
+        large = run_hpcg(cluster_a(8), nranks=32, ppn=4, iterations=5,
+                         allreduce_algorithm="mvapich2")
+        assert large.ddot_time > small.ddot_time
+
+    def test_sharp_flattens_ddot_scaling(self):
+        small = run_hpcg(cluster_a(2), nranks=8, ppn=4, iterations=5,
+                         allreduce_algorithm="sharp_socket_leader")
+        large = run_hpcg(cluster_a(8), nranks=32, ppn=4, iterations=5,
+                         allreduce_algorithm="sharp_socket_leader")
+        assert large.ddot_time < 1.5 * small.ddot_time
+
+    def test_invalid_grid_rejected(self):
+        with pytest.raises(ConfigError):
+            run_hpcg(cluster_b(2), nranks=4, ppn=2, local_grid=(0, 2, 2))

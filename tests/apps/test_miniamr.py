@@ -1,0 +1,65 @@
+"""Tests for the miniAMR-like refinement kernel."""
+
+import pytest
+
+from repro.apps.miniamr import run_miniamr
+from repro.machine.clusters import cluster_b, cluster_c
+
+
+class TestDataMode:
+    def test_runs_and_agrees(self):
+        res = run_miniamr(cluster_c(2), nranks=8, ppn=4, steps=4, data_mode=True)
+        assert res.steps == 4
+        assert res.final_blocks > 0
+        assert 0 <= res.max_level <= 4
+
+    def test_mesh_grows_under_refinement(self):
+        res = run_miniamr(
+            cluster_c(2), nranks=8, ppn=4, steps=6, data_mode=True,
+            refine_fraction=0.9, initial_blocks=4,
+        )
+        assert res.final_blocks > 4 * 8  # grew beyond the initial mesh
+
+    def test_no_refinement_keeps_levels_flat(self):
+        res = run_miniamr(
+            cluster_c(2), nranks=8, ppn=4, steps=4, data_mode=True,
+            refine_fraction=0.0,
+        )
+        assert res.max_level == 0
+        assert res.final_blocks == 8 * 8  # initial_blocks * nranks
+
+    def test_deterministic_given_seed(self):
+        a = run_miniamr(cluster_c(2), nranks=8, ppn=4, steps=4,
+                        data_mode=True, seed=7)
+        b = run_miniamr(cluster_c(2), nranks=8, ppn=4, steps=4,
+                        data_mode=True, seed=7)
+        assert a.final_blocks == b.final_blocks
+        assert a.refine_time == b.refine_time
+
+
+class TestSymbolicMode:
+    def test_refine_time_positive_and_below_total(self):
+        res = run_miniamr(cluster_c(2), nranks=8, ppn=4, steps=4)
+        assert 0 < res.refine_time <= res.total_time
+
+    def test_refine_time_grows_with_job_size(self):
+        small = run_miniamr(cluster_c(2), nranks=16, ppn=8, steps=4,
+                            initial_blocks=32)
+        large = run_miniamr(cluster_c(8), nranks=64, ppn=8, steps=4,
+                            initial_blocks=32)
+        assert large.refine_time > small.refine_time
+
+    @pytest.mark.parametrize("algorithm", ["mvapich2", "intel_mpi", "dpml_tuned"])
+    def test_all_library_stacks_run(self, algorithm):
+        res = run_miniamr(
+            cluster_c(2), nranks=8, ppn=4, steps=3,
+            allreduce_algorithm=algorithm,
+        )
+        assert res.refine_time > 0
+
+    def test_dpml_beats_mvapich2_at_scale(self):
+        mv = run_miniamr(cluster_c(8), nranks=8 * 28, ppn=28, steps=4,
+                         initial_blocks=64, allreduce_algorithm="mvapich2")
+        dp = run_miniamr(cluster_c(8), nranks=8 * 28, ppn=28, steps=4,
+                         initial_blocks=64, allreduce_algorithm="dpml_tuned")
+        assert dp.refine_time < mv.refine_time

@@ -1,0 +1,71 @@
+"""Tests for the data-parallel SGD kernel."""
+
+import pytest
+
+from repro.apps.sgd import run_sgd
+from repro.machine.clusters import cluster_b, cluster_c
+
+
+class TestDataMode:
+    def test_replicas_stay_identical(self):
+        res = run_sgd(cluster_b(2), nranks=8, ppn=4, steps=10)
+        assert res.replicas_consistent
+
+    def test_loss_decreases(self):
+        res = run_sgd(cluster_b(2), nranks=8, ppn=4, steps=30)
+        assert res.losses[-1] < 0.3 * res.losses[0]
+
+    @pytest.mark.parametrize(
+        "algorithm", ["recursive_doubling", "dpml", "mvapich2"]
+    )
+    def test_any_allreduce_trains_identically(self, algorithm):
+        res = run_sgd(
+            cluster_b(2), nranks=4, ppn=2, steps=8,
+            allreduce_algorithm=algorithm,
+        )
+        ref = run_sgd(
+            cluster_b(2), nranks=4, ppn=2, steps=8,
+            allreduce_algorithm="ring",
+        )
+        # The trained model is a function of the data only — not of the
+        # (correct) allreduce algorithm used.
+        assert res.losses == pytest.approx(ref.losses, rel=1e-9)
+
+    def test_more_ranks_more_data_better_fit(self):
+        small = run_sgd(cluster_b(2), nranks=2, ppn=1, steps=30, seed=5)
+        large = run_sgd(cluster_b(2), nranks=8, ppn=4, steps=30, seed=5)
+        assert small.replicas_consistent and large.replicas_consistent
+        # Not asserting ordering of losses (stochastic), only sanity.
+        assert large.losses[-1] < large.losses[0]
+
+    def test_bucketing_does_not_change_results(self):
+        fine = run_sgd(cluster_b(2), nranks=4, ppn=2, steps=6, bucket_bytes=256)
+        coarse = run_sgd(cluster_b(2), nranks=4, ppn=2, steps=6,
+                         bucket_bytes=1 << 20)
+        assert fine.losses == pytest.approx(coarse.losses, rel=1e-12)
+
+
+class TestSymbolicMode:
+    def test_requires_parameter_count(self):
+        with pytest.raises(ValueError):
+            run_sgd(cluster_b(2), nranks=4, ppn=2, data_mode=False)
+
+    def test_comm_time_scales_with_model_size(self):
+        small = run_sgd(
+            cluster_c(4), nranks=16, ppn=4, steps=2, data_mode=False,
+            symbolic_parameters=100_000,
+        )
+        large = run_sgd(
+            cluster_c(4), nranks=16, ppn=4, steps=2, data_mode=False,
+            symbolic_parameters=2_000_000,
+        )
+        assert large.allreduce_time > 5 * small.allreduce_time
+
+    def test_no_losses_reported(self):
+        res = run_sgd(
+            cluster_c(2), nranks=8, ppn=4, steps=2, data_mode=False,
+            symbolic_parameters=10_000,
+        )
+        assert res.losses is None
+        assert res.replicas_consistent is None
+        assert res.allreduce_time > 0

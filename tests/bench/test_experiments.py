@@ -1,0 +1,40 @@
+"""Tests for the EXPERIMENTS.md generator."""
+
+import pytest
+
+from repro.bench.experiments import _EXPERIMENTS, generate_experiments_report
+
+
+class TestExperimentIndex:
+    def test_all_paper_figures_covered(self):
+        ids = [e[0] for e in _EXPERIMENTS]
+        # Every evaluation figure of the paper appears.
+        for required in ("E1a", "E1b", "E1c", "E1d", "E2", "E3", "E4", "E5",
+                         "E6", "E7a", "E7b", "E7c", "E7d", "E8", "E9", "E10",
+                         "E11", "E13"):
+            assert required in ids
+
+    def test_ids_unique(self):
+        ids = [e[0] for e in _EXPERIMENTS]
+        assert len(ids) == len(set(ids))
+
+    def test_every_entry_has_a_claim(self):
+        for exp_id, claim, runner in _EXPERIMENTS:
+            assert claim.strip()
+            assert callable(runner)
+
+
+class TestReportGeneration:
+    def test_selected_subset_renders(self, tmp_path):
+        out = tmp_path / "exp.md"
+        report = generate_experiments_report(out=str(out), selected={"E1c"})
+        assert "# EXPERIMENTS" in report
+        assert "E1c" in report
+        assert "**Paper:**" in report
+        assert "**Measured:**" in report
+        assert "```" in report  # embedded table
+        assert out.read_text() == report
+
+    def test_unselected_experiments_excluded(self):
+        report = generate_experiments_report(selected={"E1c"})
+        assert "E7b" not in report

@@ -1,0 +1,62 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.bench.plotting import ascii_chart
+
+
+class TestAsciiChart:
+    def test_basic_render(self):
+        chart = ascii_chart(
+            {"a": {64: 1e-5, 1024: 1e-4}, "b": {64: 2e-5, 1024: 3e-4}},
+            title="demo",
+        )
+        lines = chart.splitlines()
+        assert lines[0] == "demo"
+        assert "*" in chart and "o" in chart  # two series markers
+        assert "* a" in chart and "o b" in chart  # legend
+        assert "message size (B)" in chart
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": {}})
+
+    def test_nonpositive_values_rejected(self):
+        with pytest.raises(ValueError):
+            ascii_chart({"a": {64: 0.0}})
+        with pytest.raises(ValueError):
+            ascii_chart({"a": {-1: 1.0}})
+
+    def test_single_point_series(self):
+        chart = ascii_chart({"a": {64: 1e-5}})
+        assert "*" in chart
+
+    def test_monotone_series_renders_monotone(self):
+        """Higher y values appear on higher rows."""
+        chart = ascii_chart(
+            {"a": {10: 1e-6, 100: 1e-4, 1000: 1e-2}}, width=30, height=9
+        )
+        rows_with_marker = [
+            i for i, line in enumerate(chart.splitlines())
+            if "|" in line and "*" in line
+        ]
+        # Three points on three distinct rows, descending row = ascending y.
+        assert len(rows_with_marker) == 3
+
+    def test_custom_labels_and_scale(self):
+        chart = ascii_chart(
+            {"a": {64: 2.0}},
+            ylabel="relative throughput",
+            yscale=1.0,
+        )
+        assert "relative throughput" in chart
+
+    def test_dimensions_respected(self):
+        chart = ascii_chart(
+            {"a": {64: 1e-5, 4096: 1e-3}}, width=40, height=8
+        )
+        body = [l for l in chart.splitlines() if "|" in l]
+        assert len(body) == 8
+        assert all(len(l.split("|", 1)[1]) <= 40 for l in body)

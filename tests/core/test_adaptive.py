@@ -1,0 +1,108 @@
+"""Tests for the online adaptive allreduce selector."""
+
+import numpy as np
+import pytest
+
+from repro.core.adaptive import DEFAULT_CANDIDATES, AdaptiveState
+from repro.machine.clusters import cluster_b
+from repro.machine.machine import Machine
+from repro.mpi.runtime import Runtime, run_job
+from repro.payload import SUM, SymbolicPayload, make_payload
+
+
+class TestAdaptiveState:
+    def test_explores_then_locks(self):
+        state = AdaptiveState(candidates=(("a", {}), ("b", {}), ("c", {})))
+        assert state.exploring
+        assert state.next_candidate() == 0
+        state.record(3.0)
+        assert state.next_candidate() == 1
+        state.record(1.0)
+        state.record(2.0)
+        assert not state.exploring
+        assert state.locked == 1  # argmin
+        assert state.next_candidate() == 1
+
+    def test_single_candidate_locks_immediately(self):
+        state = AdaptiveState(candidates=(("only", {}),))
+        state.record(5.0)
+        assert state.locked == 0
+
+
+class TestAdaptiveAllreduce:
+    def test_correct_during_and_after_exploration(self):
+        count = 16
+        calls = len(DEFAULT_CANDIDATES) + 3
+
+        def fn(comm):
+            outs = []
+            for i in range(calls):
+                data = make_payload(count, data=np.full(count, float(comm.rank + i)))
+                result = yield from comm.allreduce(data, SUM, algorithm="adaptive")
+                outs.append(result.array[0])
+            return outs
+
+        job = run_job(cluster_b(4), 16, fn, ppn=4)
+        for v in job.values:
+            assert v == [sum(range(16)) + 16.0 * i for i in range(calls)]
+
+    def test_all_ranks_lock_same_winner(self):
+        def fn(comm):
+            payload = SymbolicPayload(65536, 4)
+            for _ in range(len(DEFAULT_CANDIDATES)):
+                yield from comm.allreduce(payload, SUM, algorithm="adaptive")
+            key = next(k for k in comm.cache if k[0] == "adaptive")
+            return comm.cache[key].locked
+
+        job = run_job(cluster_b(4), 16, fn, ppn=4)
+        assert len(set(job.values)) == 1
+        assert job.values[0] is not None
+
+    def test_winner_is_multi_leader_for_large_messages(self):
+        def fn(comm):
+            payload = SymbolicPayload(1 << 17, 4)  # 512KB
+            for _ in range(len(DEFAULT_CANDIDATES)):
+                yield from comm.allreduce(payload, SUM, algorithm="adaptive")
+            key = next(k for k in comm.cache if k[0] == "adaptive")
+            state = comm.cache[key]
+            return state.candidates[state.locked]
+
+        job = run_job(cluster_b(8), 8 * 16, fn, ppn=16)
+        name, kwargs = job.values[0]
+        assert (name, kwargs.get("leaders", 0)) in (
+            ("dpml", 16), ("dpml", 4), ("rabenseifner", 0),
+        )
+        assert name == "dpml"  # multi-leader wins at 512KB
+
+    def test_locked_phase_matches_direct_call_latency(self):
+        """After locking, adaptive adds no agreement overhead."""
+        explore_calls = len(DEFAULT_CANDIDATES)
+
+        def timed(algorithm, **kw):
+            def fn(comm):
+                payload = SymbolicPayload(1 << 15, 4)
+                for _ in range(explore_calls):
+                    yield from comm.allreduce(payload, SUM, algorithm="adaptive")
+                yield from comm.barrier()
+                t0 = comm.now
+                yield from comm.allreduce(payload, SUM, algorithm=algorithm, **kw)
+                return comm.now - t0
+
+            machine = Machine(cluster_b(4), 16, 4)
+            return max(Runtime(machine).launch(fn).values), None
+
+        adaptive_t, _ = timed("adaptive")
+        # The locked configuration is one of the candidates; its direct
+        # latency must match within a tight tolerance.
+        candidates_t = []
+        for name, kw in DEFAULT_CANDIDATES:
+            def fn(comm, name=name, kw=kw):
+                payload = SymbolicPayload(1 << 15, 4)
+                yield from comm.barrier()
+                t0 = comm.now
+                yield from comm.allreduce(payload, SUM, algorithm=name, **kw)
+                return comm.now - t0
+
+            machine = Machine(cluster_b(4), 16, 4)
+            candidates_t.append(max(Runtime(machine).launch(fn).values))
+        assert adaptive_t <= max(candidates_t) * 1.05

@@ -1,0 +1,66 @@
+"""Tests for leader-plan construction (DPML layout logic)."""
+
+from repro.core.leaders import get_leader_plan
+from repro.machine.clusters import cluster_b
+from repro.mpi import run_job
+
+
+def plans_for(nranks, ppn, nodes, leaders):
+    def fn(comm):
+        plan = yield from get_leader_plan(comm, leaders)
+        return {
+            "leaders": plan.leaders,
+            "node": plan.node,
+            "is_leader": plan.is_leader,
+            "leader_index": plan.leader_index,
+            "leader_comm_size": plan.leader_comm.size if plan.leader_comm else None,
+            "n_nodes": plan.n_nodes,
+            "ppn": plan.ppn,
+        }
+
+    return run_job(cluster_b(nodes), nranks, fn, ppn=ppn).values
+
+
+class TestLeaderPlan:
+    def test_basic_layout(self):
+        plans = plans_for(nranks=8, ppn=4, nodes=2, leaders=2)
+        assert all(p["leaders"] == 2 for p in plans)
+        assert all(p["n_nodes"] == 2 for p in plans)
+        leaders = [p for p in plans if p["is_leader"]]
+        assert len(leaders) == 4  # 2 leaders x 2 nodes
+        # Leader j of each node sits in a communicator of size n_nodes.
+        assert all(p["leader_comm_size"] == 2 for p in leaders)
+
+    def test_non_leaders_have_no_leader_comm(self):
+        plans = plans_for(nranks=8, ppn=4, nodes=2, leaders=2)
+        followers = [p for p in plans if not p["is_leader"]]
+        assert len(followers) == 4
+        assert all(p["leader_comm_size"] is None for p in followers)
+
+    def test_leaders_clamped_to_min_ppn(self):
+        # 10 ranks at ppn 4: last node only has 2 ranks.
+        plans = plans_for(nranks=10, ppn=4, nodes=3, leaders=4)
+        assert all(p["leaders"] == 2 for p in plans)
+
+    def test_leader_indices_are_first_local_ranks(self):
+        plans = plans_for(nranks=8, ppn=4, nodes=2, leaders=2)
+        for rank, p in enumerate(plans):
+            local = rank % 4
+            if local < 2:
+                assert p["is_leader"] and p["leader_index"] == local
+            else:
+                assert not p["is_leader"]
+
+    def test_single_leader_is_hierarchical_layout(self):
+        plans = plans_for(nranks=8, ppn=4, nodes=2, leaders=1)
+        assert sum(p["is_leader"] for p in plans) == 2
+
+    def test_plan_cached_across_calls(self):
+        def fn(comm):
+            p1 = yield from get_leader_plan(comm, 2)
+            p2 = yield from get_leader_plan(comm, 2)
+            p3 = yield from get_leader_plan(comm, 4)
+            return (p1 is p2, p1 is p3)
+
+        res = run_job(cluster_b(2), 8, fn, ppn=4)
+        assert all(v == (True, False) for v in res.values)

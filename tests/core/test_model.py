@@ -1,0 +1,136 @@
+"""Tests for the analytical cost model (Section 5, Equations 1-7)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.model import CostModel
+from repro.errors import ConfigError
+from repro.machine.clusters import cluster_b, cluster_c
+
+
+@pytest.fixture
+def model():
+    # Hand-picked constants so expected values are easy to verify.
+    return CostModel(a=1e-6, b=1e-9, a_shm=1e-7, b_shm=1e-10, c=2e-10)
+
+
+class TestEquations:
+    def test_eq1_recursive_doubling(self, model):
+        # lg(8) = 3 rounds of (a + n b + n c).
+        n = 1000
+        expected = 3 * (1e-6 + n * 1e-9 + n * 2e-10)
+        assert model.t_recursive_doubling(8, n) == pytest.approx(expected)
+
+    def test_eq1_non_power_of_two_uses_ceil(self, model):
+        assert model.t_recursive_doubling(9, 100) == pytest.approx(
+            4 * (1e-6 + 100 * 1e-9 + 100 * 2e-10)
+        )
+
+    def test_eq2_copy(self, model):
+        # l * (a' + b' n / l)
+        assert model.t_copy(4, 1000) == pytest.approx(4 * (1e-7 + 1e-10 * 250))
+
+    def test_eq3_comp(self, model):
+        # (ppn/l - 1) n c with ppn = p/h.
+        assert model.t_comp(p=64, h=4, l=4, n=1000) == pytest.approx(
+            (16 / 4 - 1) * 1000 * 2e-10
+        )
+
+    def test_eq3_rejects_more_leaders_than_ranks(self, model):
+        with pytest.raises(ConfigError):
+            model.t_comp(p=8, h=4, l=4, n=10)
+
+    def test_eq4_comm(self, model):
+        n = 1000
+        expected = math.ceil(math.log2(8)) * (1e-6 + n * 1e-9 / 4 + n * 2e-10 / 4)
+        assert model.t_comm(h=8, l=4, n=n) == pytest.approx(expected)
+
+    def test_eq5_pipelined_adds_startup_only(self, model):
+        n, h, l, k = 8000, 8, 4, 4
+        plain = model.t_comm(h, l, n)
+        piped = model.t_comm_pipelined(h, l, n, k)
+        lg_h = math.ceil(math.log2(h))
+        assert piped - plain == pytest.approx((k - 1) * model.a * lg_h)
+
+    def test_eq6_equals_eq2(self, model):
+        assert model.t_bcast(4, 1000) == model.t_copy(4, 1000)
+
+    def test_eq7_total_is_sum_of_phases(self, model):
+        p, h, l, n = 64, 4, 4, 1000
+        total = model.t_dpml(p, h, l, n)
+        assert total == pytest.approx(
+            model.t_copy(l, n)
+            + model.t_comp(p, h, l, n)
+            + model.t_comm(h, l, n)
+            + model.t_bcast(l, n)
+        )
+
+    def test_single_node_h1_has_no_comm(self, model):
+        assert model.t_comm(h=1, l=2, n=100) == 0.0
+
+
+class TestFromMachine:
+    def test_constants_derive_from_config(self):
+        config = cluster_b(4)
+        m = CostModel.from_machine(config)
+        fabric, node = config.fabric, config.node
+        assert m.a == pytest.approx(
+            fabric.send_overhead + fabric.wire_latency + fabric.recv_overhead
+        )
+        assert m.b == fabric.proc_byte_time
+        assert m.a_shm == node.copy_latency
+        assert m.c == node.reduce_byte_time
+
+    def test_pio_regime_selected_by_size(self):
+        config = cluster_c(4)
+        small = CostModel.from_machine(config, nbytes=1024)
+        large = CostModel.from_machine(config, nbytes=1 << 20)
+        assert small.b == config.fabric.pio_byte_time
+        assert large.b == config.fabric.proc_byte_time
+        assert small.b > large.b
+
+
+class TestPredictions:
+    def test_more_leaders_win_for_large_messages(self, model):
+        t1 = model.t_dpml(p=448, h=16, l=1, n=524288)
+        t16 = model.t_dpml(p=448, h=16, l=16, n=524288)
+        assert t1 / t16 > 3.0
+
+    def test_leaders_do_not_help_tiny_messages(self, model):
+        t1 = model.t_dpml(p=448, h=16, l=1, n=4)
+        t16 = model.t_dpml(p=448, h=16, l=16, n=4)
+        assert t16 >= t1
+
+    def test_best_leader_count_monotone_in_size(self, model):
+        bests = [
+            model.best_leader_count(p=448, h=16, n=n) for n in (4, 8192, 1 << 20)
+        ]
+        assert bests == sorted(bests)
+
+    def test_dpml_beats_flat_rd_for_multicore(self, model):
+        p, h, n = 448, 16, 65536
+        flat = model.t_recursive_doubling(p, n)
+        dpml = model.t_dpml(p, h, 8, n)
+        assert dpml < flat
+
+    @given(
+        n=st.integers(1, 1 << 22),
+        l=st.sampled_from([1, 2, 4, 8, 16]),
+        h=st.sampled_from([2, 4, 16, 64]),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_phases_nonnegative_and_finite(self, n, l, h):
+        model = CostModel(a=1e-6, b=1e-9, a_shm=1e-7, b_shm=1e-10, c=2e-10)
+        p = h * 28
+        if 28 < l:
+            return
+        total = model.t_dpml(p=p, h=h, l=l, n=n)
+        assert total > 0
+        assert math.isfinite(total)
+
+    def test_best_leader_count_infeasible(self, model):
+        with pytest.raises(ConfigError):
+            model.best_leader_count(p=4, h=4, n=100, candidates=(2, 4))

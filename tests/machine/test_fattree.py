@@ -1,0 +1,110 @@
+"""Tests for the link-level fat-tree fabric."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.apps.osu import multi_pair_bandwidth
+from repro.errors import ConfigError
+from repro.machine.clusters import cluster_b
+from repro.machine.fattree import FatTree, FatTreeConfig
+from repro.mpi import run_job
+from repro.payload import SUM, make_payload
+from repro.sim import Simulator
+
+
+def with_tree(config, **topo_kw):
+    return dataclasses.replace(config, topology=FatTreeConfig(**topo_kw))
+
+
+class TestConfig:
+    def test_defaults_valid(self):
+        FatTreeConfig()
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ConfigError):
+            FatTreeConfig(nodes_per_leaf=0)
+        with pytest.raises(ConfigError):
+            FatTreeConfig(spines=0)
+        with pytest.raises(ConfigError):
+            FatTreeConfig(hop_latency=-1.0)
+
+    def test_oversubscription_ratio(self):
+        cfg = FatTreeConfig(nodes_per_leaf=16, spines=4, link_byte_time=8e-11)
+        # 16 nodes at NIC rate vs 4 links at the same rate -> 4x.
+        assert cfg.oversubscription(8e-11) == pytest.approx(4.0)
+
+
+class TestRouting:
+    def test_leaf_assignment(self):
+        tree = FatTree(Simulator(), FatTreeConfig(nodes_per_leaf=4, spines=2), 10)
+        assert tree.leaves == 3
+        assert tree.leaf_of(0) == 0
+        assert tree.leaf_of(3) == 0
+        assert tree.leaf_of(4) == 1
+        assert tree.leaf_of(9) == 2
+        with pytest.raises(ConfigError):
+            tree.leaf_of(10)
+
+    def test_same_leaf_has_no_fabric_stages(self):
+        tree = FatTree(Simulator(), FatTreeConfig(nodes_per_leaf=4, spines=2), 8)
+        assert tree.fabric_stages(0, 3) == []
+
+    def test_inter_leaf_crosses_up_and_down(self):
+        tree = FatTree(Simulator(), FatTreeConfig(nodes_per_leaf=4, spines=2), 8)
+        stages = tree.fabric_stages(0, 5)
+        assert len(stages) == 2
+        spine = tree.spine_for(5)
+        assert stages[0].queue is tree.up[0][spine]
+        assert stages[1].queue is tree.down[1][spine]
+
+    def test_routing_is_deterministic(self):
+        tree = FatTree(Simulator(), FatTreeConfig(nodes_per_leaf=2, spines=4), 16)
+        assert tree.spine_for(7) == tree.spine_for(7) == 7 % 4
+
+
+class TestBehaviour:
+    def test_allreduce_correct_with_topology(self):
+        config = with_tree(cluster_b(4), nodes_per_leaf=2, spines=1)
+
+        def fn(comm):
+            data = make_payload(20, data=np.arange(20.0) * (comm.rank + 1))
+            out = yield from comm.allreduce(data, SUM, algorithm="rabenseifner")
+            return out.array
+
+        job = run_job(config, 8, fn, ppn=2)
+        expected = np.arange(20.0) * sum(r + 1 for r in range(8))
+        for v in job.values:
+            np.testing.assert_array_equal(v, expected)
+
+    def test_oversubscription_throttles_cross_leaf_bandwidth(self):
+        base = cluster_b(2)
+        # One thin spine shared by a whole leaf: heavy oversubscription.
+        congested = with_tree(
+            base, nodes_per_leaf=1, spines=1, link_byte_time=8e-10
+        )
+        free = multi_pair_bandwidth(base, pairs=8, nbytes=1 << 20)
+        slow = multi_pair_bandwidth(congested, pairs=8, nbytes=1 << 20)
+        assert slow < free * 0.5
+
+    def test_same_leaf_traffic_unaffected_by_thin_spine(self):
+        base = cluster_b(2)
+        # Both nodes under one leaf: the thin uplinks are never crossed.
+        same_leaf = with_tree(
+            base, nodes_per_leaf=2, spines=1, link_byte_time=8e-9
+        )
+        free = multi_pair_bandwidth(base, pairs=4, nbytes=1 << 18)
+        routed = multi_pair_bandwidth(same_leaf, pairs=4, nbytes=1 << 18)
+        assert routed == pytest.approx(free, rel=0.01)
+
+    def test_hop_latency_adds_to_small_message_time(self):
+        from repro.bench.harness import allreduce_latency
+
+        base = cluster_b(4)
+        treed = with_tree(
+            base, nodes_per_leaf=1, spines=2, hop_latency=5e-6
+        )
+        flat = allreduce_latency(base, "recursive_doubling", 8, ppn=1)
+        routed = allreduce_latency(treed, "recursive_doubling", 8, ppn=1)
+        assert routed > flat + 5e-6

@@ -1,0 +1,89 @@
+"""Tests for the noise model and the statistics harness."""
+
+import numpy as np
+import pytest
+
+from repro.bench.harness import allreduce_latency, allreduce_latency_stats
+from repro.errors import ConfigError, ReproError
+from repro.machine.clusters import cluster_b
+from repro.machine.noise import NoiseModel
+
+
+class TestNoiseModel:
+    def test_zero_sigma_is_identity(self):
+        nm = NoiseModel(sigma=0.0)
+        assert nm.perturb(1.5) == 1.5
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ConfigError):
+            NoiseModel(sigma=-0.1)
+
+    def test_same_seed_same_stream(self):
+        a = NoiseModel(sigma=0.1, seed=42)
+        b = NoiseModel(sigma=0.1, seed=42)
+        assert [a.perturb(1.0) for _ in range(5)] == [
+            b.perturb(1.0) for _ in range(5)
+        ]
+
+    def test_different_seeds_differ(self):
+        a = NoiseModel(sigma=0.1, seed=1)
+        b = NoiseModel(sigma=0.1, seed=2)
+        assert a.perturb(1.0) != b.perturb(1.0)
+
+    def test_reset_restarts_stream(self):
+        nm = NoiseModel(sigma=0.1, seed=7)
+        first = nm.perturb(1.0)
+        nm.reset()
+        assert nm.perturb(1.0) == first
+
+    def test_multiplier_stays_positive(self):
+        nm = NoiseModel(sigma=0.5, seed=0)
+        assert all(nm.perturb(1.0) > 0 for _ in range(100))
+
+    def test_median_preserving(self):
+        nm = NoiseModel(sigma=0.1, seed=0)
+        samples = np.array([nm.perturb(1.0) for _ in range(4000)])
+        assert np.median(samples) == pytest.approx(1.0, rel=0.02)
+
+
+class TestNoisyRuns:
+    def test_noisy_run_is_reproducible(self):
+        kw = dict(ppn=4, iterations=1, warmup=0)
+        a = allreduce_latency(
+            cluster_b(2), "dpml", 8192, noise=NoiseModel(0.05, seed=3), **kw
+        )
+        b = allreduce_latency(
+            cluster_b(2), "dpml", 8192, noise=NoiseModel(0.05, seed=3), **kw
+        )
+        assert a == b
+
+    def test_noise_changes_latency(self):
+        kw = dict(ppn=4, iterations=1, warmup=0)
+        clean = allreduce_latency(cluster_b(2), "dpml", 8192, **kw)
+        noisy = allreduce_latency(
+            cluster_b(2), "dpml", 8192, noise=NoiseModel(0.2, seed=1), **kw
+        )
+        assert noisy != clean
+
+    def test_stats_mean_near_deterministic(self):
+        clean = allreduce_latency(cluster_b(2), "dpml", 16384, ppn=4)
+        stats = allreduce_latency_stats(
+            cluster_b(2), "dpml", 16384, ppn=4, repeats=5, sigma=0.03
+        )
+        assert stats.mean == pytest.approx(clean, rel=0.1)
+        assert stats.min <= stats.mean <= stats.max
+        assert stats.std >= 0
+        assert stats.ci95 >= 0
+
+    def test_zero_sigma_stats_degenerate(self):
+        stats = allreduce_latency_stats(
+            cluster_b(2), "ring", 1024, ppn=2, repeats=3, sigma=0.0
+        )
+        assert stats.std == 0.0
+        assert stats.min == stats.max == stats.mean
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ReproError):
+            allreduce_latency_stats(
+                cluster_b(2), "ring", 64, ppn=2, repeats=0
+            )

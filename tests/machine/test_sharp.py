@@ -1,0 +1,117 @@
+"""Tests for the SHArP switch-tree model."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.machine.config import SharpConfig
+from repro.machine.sharp import SharpTree
+from repro.sim import Simulator
+
+
+def tree(nodes=16, **cfg_kw):
+    return SharpTree(Simulator(), SharpConfig(**cfg_kw), nodes)
+
+
+class TestGeometry:
+    def test_depth_grows_with_leaves(self):
+        t = tree(radix=4)
+        assert t.depth(1) == 1
+        assert t.depth(4) == 1
+        assert t.depth(5) == 2
+        assert t.depth(16) == 2
+        assert t.depth(17) == 3
+
+    def test_depth_invalid_leaves(self):
+        with pytest.raises(ConfigError):
+            tree().depth(0)
+
+    def test_segments(self):
+        t = tree(max_payload=256)
+        assert t.segments(0) == 1
+        assert t.segments(1) == 1
+        assert t.segments(256) == 1
+        assert t.segments(257) == 2
+        assert t.segments(4096) == 16
+
+    def test_zero_nodes_rejected(self):
+        with pytest.raises(ConfigError):
+            SharpTree(Simulator(), SharpConfig(), 0)
+
+
+class TestReductionTime:
+    def test_small_payload_pays_op_latency_once(self):
+        t = tree()
+        cfg = t.config
+        expected = 2 * t.depth(16) * cfg.hop_latency + cfg.op_latency
+        assert t.reduction_time(16, 8) == pytest.approx(expected)
+
+    def test_large_payload_pays_per_segment(self):
+        t = tree()
+        t_small = t.reduction_time(16, 256)
+        t_large = t.reduction_time(16, 4096)
+        assert t_large > t_small + 10 * t.config.segment_overhead
+
+    def test_monotone_in_leaves_and_bytes(self):
+        t = tree(radix=4)
+        assert t.reduction_time(64, 64) > t.reduction_time(4, 64)
+        assert t.reduction_time(16, 2048) > t.reduction_time(16, 64)
+
+
+class TestConcurrencyLimit:
+    def test_operations_queue_on_contexts(self):
+        sim = Simulator()
+        t = SharpTree(sim, SharpConfig(max_outstanding=2), 8)
+        finish_times = []
+
+        def op():
+            yield from t.operation(8, 64)
+            finish_times.append(sim.now)
+
+        for _ in range(4):
+            sim.process(op())
+        sim.run()
+        one_op = t.reduction_time(8, 64)
+        # First two run concurrently, second two queue behind them.
+        assert finish_times[0] == pytest.approx(one_op)
+        assert finish_times[1] == pytest.approx(one_op)
+        assert finish_times[2] == pytest.approx(2 * one_op)
+        assert finish_times[3] == pytest.approx(2 * one_op)
+
+    def test_context_released_after_operation(self):
+        sim = Simulator()
+        t = SharpTree(sim, SharpConfig(max_outstanding=1), 8)
+
+        def op():
+            yield from t.operation(8, 8)
+
+        sim.process(op())
+        sim.run()
+        assert t.contexts.in_use == 0
+
+
+class TestStreamingV2:
+    def test_streaming_time_linear_in_bytes(self):
+        from repro.machine.config import SharpConfig
+        t = tree(streaming=True, stream_byte_time=1e-10)
+        base = t.reduction_time(16, 0)
+        one_mb = t.reduction_time(16, 1 << 20)
+        assert one_mb - base == pytest.approx((1 << 20) * 1e-10)
+
+    def test_streaming_beats_segmented_for_large(self):
+        v1 = tree(streaming=False)
+        v2 = tree(streaming=True)
+        assert v2.reduction_time(16, 1 << 20) < v1.reduction_time(16, 1 << 20)
+
+    def test_streaming_equivalent_for_tiny(self):
+        v1 = tree(streaming=False)
+        v2 = tree(streaming=True)
+        # A single segment op vs a tiny stream: same order of magnitude.
+        assert v2.reduction_time(16, 64) == pytest.approx(
+            v1.reduction_time(16, 64), rel=0.5
+        )
+
+    def test_negative_stream_rate_rejected(self):
+        from repro.errors import ConfigError
+        from repro.machine.config import SharpConfig
+        with pytest.raises(ConfigError):
+            SharpConfig(stream_byte_time=-1.0)

@@ -1,0 +1,84 @@
+"""Tests for the all-to-all personalized exchange."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MPIError
+from repro.machine.clusters import cluster_b
+from repro.mpi import run_job
+from repro.payload import make_payload
+
+
+def run_alltoall(nranks, ppn, nodes, algorithm, count=2):
+    def fn(comm):
+        blocks = [
+            make_payload(count, data=np.full(count, comm.rank * 1000.0 + d))
+            for d in range(comm.size)
+        ]
+        out = yield from comm.alltoall(blocks, algorithm=algorithm)
+        return [float(b.array[0]) for b in out]
+
+    return run_job(cluster_b(nodes), nranks, fn, ppn=ppn)
+
+
+@pytest.mark.parametrize("algorithm", ["pairwise", "bruck"])
+class TestAlltoall:
+    def test_transpose_semantics(self, algorithm):
+        job = run_alltoall(8, 4, 2, algorithm)
+        for r, got in enumerate(job.values):
+            assert got == [s * 1000.0 + r for s in range(8)]
+
+    def test_non_power_of_two(self, algorithm):
+        job = run_alltoall(5, 2, 3, algorithm)
+        for r, got in enumerate(job.values):
+            assert got == [s * 1000.0 + r for s in range(5)]
+
+    def test_single_rank(self, algorithm):
+        job = run_alltoall(1, 1, 1, algorithm)
+        assert job.values[0] == [0.0]
+
+    def test_wrong_block_count_rejected(self, algorithm):
+        def fn(comm):
+            with pytest.raises(MPIError, match="one block per destination"):
+                yield from comm.alltoall(
+                    [make_payload(1)], algorithm=algorithm
+                )
+
+        run_job(cluster_b(2), 4, fn, ppn=2)
+
+
+class TestAlgorithmTradeoffs:
+    def test_bruck_fewer_rounds_wins_small_blocks(self):
+        """For tiny blocks at scale, log-round Bruck beats pairwise."""
+        from repro.machine.machine import Machine
+        from repro.mpi.runtime import Runtime
+        from repro.payload import SymbolicPayload
+
+        def run(algorithm):
+            config = cluster_b(16)
+
+            def fn(comm):
+                blocks = [SymbolicPayload(4, 4) for _ in range(comm.size)]
+                t0 = comm.now
+                yield from comm.alltoall(blocks, algorithm=algorithm)
+                return comm.now - t0
+
+            machine = Machine(config, 32, 2)
+            return max(Runtime(machine).launch(fn).values)
+
+        assert run("bruck") < run("pairwise")
+
+
+@given(
+    nranks=st.integers(2, 9),
+    count=st.integers(1, 8),
+    algorithm=st.sampled_from(["pairwise", "bruck"]),
+)
+@settings(max_examples=25, deadline=None)
+def test_property_alltoall_is_transpose(nranks, count, algorithm):
+    job = run_alltoall(nranks, min(3, nranks), -(-nranks // min(3, nranks)),
+                       algorithm, count=count)
+    for r, got in enumerate(job.values):
+        assert got == [s * 1000.0 + r for s in range(nranks)]

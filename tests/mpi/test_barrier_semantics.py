@@ -1,0 +1,62 @@
+"""Barrier correctness under adversarial arrival patterns."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.clusters import cluster_b
+from repro.mpi import run_job
+
+
+@given(
+    nranks=st.integers(2, 14),
+    delays=st.lists(st.floats(0, 1e-3), min_size=14, max_size=14),
+)
+@settings(max_examples=30, deadline=None)
+def test_property_no_rank_exits_before_last_arrival(nranks, delays):
+    """The defining barrier property, for any arrival pattern."""
+    delays = delays[:nranks]
+
+    def fn(comm):
+        yield comm.sim.timeout(delays[comm.rank])
+        arrived = comm.now
+        yield from comm.barrier()
+        return (arrived, comm.now)
+
+    ppn = min(4, nranks)
+    nodes = -(-nranks // ppn)
+    job = run_job(cluster_b(nodes), nranks, fn, ppn=ppn)
+    last_arrival = max(arrived for arrived, _ in job.values)
+    for arrived, left in job.values:
+        assert left >= last_arrival
+
+
+def test_back_to_back_barriers_do_not_interfere():
+    def fn(comm):
+        times = []
+        for _ in range(5):
+            yield from comm.barrier()
+            times.append(comm.now)
+        return times
+
+    job = run_job(cluster_b(2), 8, fn, ppn=4)
+    # All ranks observe the same barrier epochs, strictly increasing.
+    reference = job.values[0]
+    assert reference == sorted(reference)
+    assert len(set(reference)) == 5
+
+
+def test_barrier_cost_scales_logarithmically():
+    def timed(nranks, nodes, ppn):
+        def fn(comm):
+            yield from comm.barrier()  # absorb startup skew
+            t0 = comm.now
+            yield from comm.barrier()
+            return comm.now - t0
+
+        return max(run_job(cluster_b(nodes), nranks, fn, ppn=ppn).values)
+
+    t8 = timed(8, 8, 1)
+    t64 = timed(64, 64, 1)
+    # Dissemination: lg(64)/lg(8) = 2x rounds, not 8x.
+    assert t64 < 4 * t8

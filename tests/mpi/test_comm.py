@@ -1,0 +1,189 @@
+"""Communicator management: split, barrier, request API, contexts."""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.machine.clusters import cluster_b
+from repro.mpi import run_job
+from repro.payload import SUM, SymbolicPayload, make_payload
+
+
+class TestSplit:
+    def test_split_by_parity(self):
+        def fn(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            return (sub.rank, sub.size, sub.world_rank)
+
+        res = run_job(cluster_b(2), 8, fn, ppn=4)
+        for rank, (sub_rank, sub_size, world) in enumerate(res.values):
+            assert sub_size == 4
+            assert world == rank
+            assert sub_rank == rank // 2
+
+    def test_split_undefined_color_returns_none(self):
+        def fn(comm):
+            sub = yield from comm.split(color=0 if comm.rank < 2 else -1)
+            return sub if sub is None else sub.size
+
+        res = run_job(cluster_b(2), 4, fn, ppn=2)
+        assert res.values == [2, 2, None, None]
+
+    def test_split_key_reorders_ranks(self):
+        def fn(comm):
+            sub = yield from comm.split(color=0, key=-comm.rank)
+            return sub.rank
+
+        res = run_job(cluster_b(2), 4, fn, ppn=2)
+        assert res.values == [3, 2, 1, 0]
+
+    def test_nested_split(self):
+        def fn(comm):
+            node_comm = yield from comm.split(color=comm.machine.node_of(comm.world_rank))
+            pair = yield from node_comm.split(color=node_comm.rank // 2)
+            return (node_comm.size, pair.size)
+
+        res = run_job(cluster_b(2), 8, fn, ppn=4)
+        assert all(v == (4, 2) for v in res.values)
+
+    def test_split_comms_have_distinct_contexts(self):
+        def fn(comm):
+            a = yield from comm.split(color=0)
+            b = yield from comm.split(color=0)
+            return (a.group.context, b.group.context)
+
+        res = run_job(cluster_b(2), 4, fn, ppn=2)
+        a_ctx, b_ctx = res.values[0]
+        assert a_ctx != b_ctx
+        assert all(v == (a_ctx, b_ctx) for v in res.values)
+
+    def test_traffic_isolated_between_split_comms(self):
+        """Same tags on different communicators must not cross-match."""
+        def fn(comm):
+            sub = yield from comm.split(color=comm.rank % 2)
+            # Everyone sends on world and on sub with the same tag.
+            peer_world = comm.rank ^ 1
+            peer_sub = sub.rank ^ 1
+            w = comm.isend(peer_world, SymbolicPayload(1, 1), tag=9)
+            s = sub.isend(peer_sub, SymbolicPayload(2, 1), tag=9)
+            from_world = yield from comm.recv(peer_world, tag=9)
+            from_sub = yield from sub.recv(peer_sub, tag=9)
+            yield from comm.waitall([w, s])
+            return (from_world.count, from_sub.count)
+
+        res = run_job(cluster_b(2), 4, fn, ppn=2)
+        assert all(v == (1, 2) for v in res.values)
+
+
+class TestBarrier:
+    def test_barrier_synchronizes(self):
+        def fn(comm):
+            yield comm.sim.timeout(comm.rank * 1e-5)
+            yield from comm.barrier()
+            return comm.now
+
+        res = run_job(cluster_b(2), 6, fn, ppn=3)
+        latest_arrival = 5 * 1e-5
+        assert all(v >= latest_arrival for v in res.values)
+
+    def test_barrier_single_rank_is_noop(self):
+        def fn(comm):
+            yield from comm.barrier()
+            return comm.now
+
+        res = run_job(cluster_b(1), 1, fn, ppn=1)
+        assert res.values[0] == 0.0
+
+    def test_non_power_of_two_barrier(self):
+        def fn(comm):
+            yield from comm.barrier()
+            return True
+
+        res = run_job(cluster_b(3), 7, fn, ppn=3)
+        assert all(res.values)
+
+
+class TestRequests:
+    def test_value_before_completion_raises(self):
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.irecv(1, tag=1)
+                with pytest.raises(MPIError):
+                    _ = req.value
+                payload = yield from comm.wait(req)
+                return payload.count
+            yield from comm.send(0, SymbolicPayload(5, 1), tag=1)
+
+        res = run_job(cluster_b(2), 2, fn, ppn=1)
+        assert res.values[0] == 5
+
+    def test_translate_out_of_range(self):
+        def fn(comm):
+            with pytest.raises(MPIError):
+                comm.translate(99)
+            yield comm.sim.timeout(0)
+
+        run_job(cluster_b(2), 2, fn, ppn=1)
+
+
+class TestNonBlockingCollectives:
+    def test_iallreduce_overlaps_and_completes(self):
+        def fn(comm):
+            data = make_payload(8, data=[float(comm.rank)] * 8)
+            req = comm.iallreduce(data, SUM, algorithm="recursive_doubling")
+            # Do other work while the collective progresses.
+            yield comm.sim.timeout(1e-6)
+            result = yield from comm.wait(req)
+            return result.array.tolist()
+
+        res = run_job(cluster_b(2), 4, fn, ppn=2)
+        assert all(v == [6.0] * 8 for v in res.values)
+
+    def test_multiple_outstanding_iallreduces(self):
+        def fn(comm):
+            reqs = [
+                comm.iallreduce(
+                    make_payload(4, data=[float(comm.rank + i)] * 4),
+                    SUM,
+                    algorithm="recursive_doubling",
+                )
+                for i in range(3)
+            ]
+            results = yield from comm.waitall(reqs)
+            return [r.array[0] for r in results]
+
+        res = run_job(cluster_b(2), 4, fn, ppn=2)
+        base = sum(range(4))
+        assert all(v == [base, base + 4, base + 8] for v in res.values)
+
+
+class TestCollectiveErrors:
+    def test_unknown_algorithm(self):
+        from repro.errors import TuningError
+
+        def fn(comm):
+            with pytest.raises(TuningError, match="unknown"):
+                yield from comm.allreduce(
+                    SymbolicPayload(1, 4), SUM, algorithm="nope"
+                )
+
+        run_job(cluster_b(2), 2, fn, ppn=1)
+
+
+class TestDup:
+    def test_dup_same_group_fresh_context(self):
+        def fn(comm):
+            dup = yield from comm.dup()
+            assert dup.size == comm.size
+            assert dup.rank == comm.rank
+            assert dup.group.context != comm.group.context
+            # Traffic isolation: same (peer, tag) on both comms.
+            peer = comm.rank ^ 1
+            a = comm.isend(peer, SymbolicPayload(1, 1), tag=5)
+            b = dup.isend(peer, SymbolicPayload(2, 1), tag=5)
+            from_dup = yield from dup.recv(peer, tag=5)
+            from_orig = yield from comm.recv(peer, tag=5)
+            yield from comm.waitall([a, b])
+            return (from_orig.count, from_dup.count)
+
+        res = run_job(cluster_b(2), 4, fn, ppn=2)
+        assert all(v == (1, 2) for v in res.values)

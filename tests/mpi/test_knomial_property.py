@@ -1,0 +1,67 @@
+"""Property-based tests for the k-nomial tree shapes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.machine.clusters import cluster_b
+from repro.mpi import run_job
+from repro.payload import SUM, DataPayload
+
+
+@given(
+    nranks=st.integers(2, 20),
+    radix=st.integers(2, 6),
+    root=st.integers(0, 19),
+    count=st.integers(1, 16),
+)
+@settings(max_examples=40, deadline=None)
+def test_property_knomial_reduce_bcast_roundtrip(nranks, radix, root, count):
+    """reduce(knomial) + bcast(knomial) == allreduce for any (p, k, root)."""
+    root = root % nranks
+    rng = np.random.default_rng(nranks * 31 + radix)
+    inputs = [rng.integers(0, 7, count).astype(float) for _ in range(nranks)]
+    ppn = min(4, nranks)
+    nodes = -(-nranks // ppn)
+
+    def fn(comm):
+        reduced = yield from comm.reduce(
+            DataPayload(inputs[comm.rank]), SUM, root=root,
+            algorithm="knomial", radix=radix,
+        )
+        out = yield from comm.bcast(
+            reduced, root=root, algorithm="knomial", radix=radix
+        )
+        return out.array
+
+    job = run_job(cluster_b(nodes), nranks, fn, ppn=ppn)
+    expected = SUM.reduce_stack(inputs)
+    for v in job.values:
+        np.testing.assert_array_equal(v, expected)
+
+
+@given(nranks=st.integers(2, 16), count=st.integers(1, 12))
+@settings(max_examples=25, deadline=None)
+def test_property_knomial_radix2_matches_binomial(nranks, count):
+    """radix=2 k-nomial is exactly the binomial tree (same results,
+    and — as both use the same topology — the same simulated time)."""
+    rng = np.random.default_rng(count)
+    inputs = [rng.integers(0, 7, count).astype(float) for _ in range(nranks)]
+    ppn = min(4, nranks)
+    nodes = -(-nranks // ppn)
+
+    def run(algorithm, **kw):
+        def fn(comm):
+            yield from comm.barrier()
+            t0 = comm.now
+            out = yield from comm.reduce(
+                DataPayload(inputs[comm.rank]), SUM, root=0,
+                algorithm=algorithm, **kw,
+            )
+            return (comm.now - t0, None if out is None else out.array.tolist())
+
+        return run_job(cluster_b(nodes), nranks, fn, ppn=ppn).values
+
+    knomial = run("knomial", radix=2)
+    binomial = run("binomial")
+    assert knomial[0][1] == binomial[0][1]  # same result at root

@@ -1,0 +1,124 @@
+"""Tests for the per-rank message matching engine (MPI semantics)."""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi.matching import ANY, EAGER, Envelope, Matcher
+
+
+def env(src=0, dst=1, tag=0, context=0, seq=0, kind=EAGER, payload="x"):
+    return Envelope(src, dst, tag, context, kind, payload, 8, seq)
+
+
+class TestBasicMatching:
+    def test_recv_then_arrive(self):
+        m = Matcher(1)
+        got = []
+        m.post(0, 5, 0, got.append)
+        m.arrive(env(tag=5))
+        assert len(got) == 1 and got[0].tag == 5
+
+    def test_arrive_then_recv_unexpected(self):
+        m = Matcher(1)
+        m.arrive(env(tag=5))
+        assert m.n_unexpected == 1
+        got = []
+        m.post(0, 5, 0, got.append)
+        assert got[0].was_unexpected
+        assert m.n_unexpected == 0
+
+    def test_tag_mismatch_blocks(self):
+        m = Matcher(1)
+        got = []
+        m.post(0, 5, 0, got.append)
+        m.arrive(env(tag=6))
+        assert not got
+        assert m.n_posted == 1
+        assert m.n_unexpected == 1
+
+    def test_context_isolation(self):
+        m = Matcher(1)
+        got = []
+        m.post(0, 5, context=7, on_match=got.append)
+        m.arrive(env(tag=5, context=8))
+        assert not got
+        m.arrive(env(tag=5, context=7, seq=1))
+        assert len(got) == 1
+
+    def test_wildcard_source(self):
+        m = Matcher(1)
+        got = []
+        m.post(ANY, 5, 0, got.append)
+        m.arrive(env(src=3, tag=5))
+        assert got and got[0].src == 3
+
+    def test_wildcard_tag(self):
+        m = Matcher(1)
+        got = []
+        m.post(0, ANY, 0, got.append)
+        m.arrive(env(tag=42))
+        assert got and got[0].tag == 42
+
+    def test_wrong_destination_rejected(self):
+        m = Matcher(1)
+        with pytest.raises(MPIError):
+            m.arrive(env(dst=2))
+
+
+class TestOrdering:
+    def test_unexpected_match_in_arrival_order(self):
+        m = Matcher(1)
+        m.arrive(env(tag=5, seq=0, payload="first"))
+        m.arrive(env(tag=5, seq=1, payload="second"))
+        got = []
+        m.post(0, 5, 0, got.append)
+        assert got[0].payload == "first"
+
+    def test_posted_match_in_post_order(self):
+        m = Matcher(1)
+        got = []
+        m.post(0, 5, 0, lambda e: got.append(("first", e.payload)))
+        m.post(0, 5, 0, lambda e: got.append(("second", e.payload)))
+        m.arrive(env(tag=5, seq=0, payload="a"))
+        m.arrive(env(tag=5, seq=1, payload="b"))
+        assert got == [("first", "a"), ("second", "b")]
+
+    def test_out_of_order_arrivals_buffered(self):
+        """A later-sent message delivered earlier must not overtake."""
+        m = Matcher(1)
+        got = []
+        m.post(0, ANY, 0, got.append)
+        m.arrive(env(tag=2, seq=1, payload="late-sent"))  # delivered first
+        assert not got  # held back: seq 0 not yet seen
+        m.arrive(env(tag=1, seq=0, payload="early-sent"))
+        assert got[0].payload == "early-sent"
+        got2 = []
+        m.post(0, ANY, 0, got2.append)
+        assert got2[0].payload == "late-sent"
+
+    def test_sequence_per_sender(self):
+        m = Matcher(2)
+        got = []
+        m.post(ANY, ANY, 0, got.append)
+        m.post(ANY, ANY, 0, got.append)
+        m.arrive(Envelope(5, 2, 0, 0, EAGER, "from5", 1, 0))
+        m.arrive(Envelope(6, 2, 0, 0, EAGER, "from6", 1, 0))
+        assert [e.payload for e in got] == ["from5", "from6"]
+
+    def test_duplicate_sequence_rejected(self):
+        m = Matcher(1)
+        m.post(0, ANY, 0, lambda e: None)
+        m.arrive(env(seq=0))
+        with pytest.raises(MPIError):
+            m.arrive(env(seq=0))
+
+    def test_long_out_of_order_chain_drains(self):
+        m = Matcher(1)
+        got = []
+        for _ in range(5):
+            m.post(0, ANY, 0, got.append)
+        for seq in (4, 3, 2, 1):
+            m.arrive(env(seq=seq, payload=f"p{seq}"))
+        assert not got
+        m.arrive(env(seq=0, payload="p0"))
+        assert [e.payload for e in got] == ["p0", "p1", "p2", "p3", "p4"]

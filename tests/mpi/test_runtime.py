@@ -1,0 +1,123 @@
+"""Tests for job launch and the runtime's coordination facilities."""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.machine.clusters import cluster_b
+from repro.machine.machine import Machine
+from repro.mpi.runtime import Runtime, run_job
+from repro.payload import SymbolicPayload
+
+
+class TestLaunch:
+    def test_values_in_rank_order(self):
+        def fn(comm):
+            yield comm.sim.timeout(0)
+            return comm.rank * 10
+
+        res = run_job(cluster_b(2), 6, fn, ppn=3)
+        assert res.values == [0, 10, 20, 30, 40, 50]
+
+    def test_value_accessor(self):
+        def fn(comm):
+            yield comm.sim.timeout(0)
+            return comm.world_rank
+
+        res = run_job(cluster_b(2), 4, fn, ppn=2)
+        assert res.value(2) == 2
+
+    def test_elapsed_reflects_last_event(self):
+        def fn(comm):
+            yield comm.sim.timeout(comm.rank * 1e-3)
+
+        res = run_job(cluster_b(2), 4, fn, ppn=2)
+        assert res.elapsed == pytest.approx(3e-3)
+
+    def test_non_generator_fn_rejected(self):
+        def not_a_generator(comm):
+            return 42
+
+        with pytest.raises(MPIError, match="generator"):
+            run_job(cluster_b(2), 2, not_a_generator, ppn=1)
+
+    def test_prebuilt_machine_rank_mismatch_rejected(self):
+        machine = Machine(cluster_b(2), 4, 2)
+
+        def fn(comm):
+            yield comm.sim.timeout(0)
+
+        with pytest.raises(MPIError, match="built for"):
+            run_job(machine, 8, fn)
+
+    def test_args_and_kwargs_forwarded(self):
+        def fn(comm, base, scale=1):
+            yield comm.sim.timeout(0)
+            return base + comm.rank * scale
+
+        res = run_job(
+            cluster_b(2), 2, fn, ppn=1, args=(100,), kwargs={"scale": 5}
+        )
+        assert res.values == [100, 105]
+
+    def test_rank_exception_propagates(self):
+        def fn(comm):
+            yield comm.sim.timeout(0)
+            if comm.rank == 1:
+                raise RuntimeError("rank 1 exploded")
+
+        with pytest.raises(RuntimeError, match="rank 1 exploded"):
+            run_job(cluster_b(2), 4, fn, ppn=2)
+
+
+class TestGates:
+    def test_gate_rendezvous(self):
+        machine = Machine(cluster_b(2), 4, 2)
+        runtime = Runtime(machine)
+        order = []
+
+        def party(i):
+            yield machine.sim.timeout(i * 1e-6)
+            event, is_last = runtime.gate("g", parties=4)
+            if is_last:
+                order.append(("last", i))
+                event.succeed("done")
+            value = yield event
+            order.append((i, value))
+
+        for i in range(4):
+            machine.sim.process(party(i))
+        machine.sim.run()
+        assert ("last", 3) in order
+        assert sum(1 for item in order if item[1] == "done") == 4
+
+    def test_gate_overfill_rejected(self):
+        """Mismatched party counts between arrivers are caught."""
+        machine = Machine(cluster_b(2), 2, 1)
+        runtime = Runtime(machine)
+        runtime.gate("g", parties=3)
+        with pytest.raises(MPIError, match="overfilled"):
+            runtime.gate("g", parties=1)
+
+    def test_completed_gate_key_is_reusable(self):
+        machine = Machine(cluster_b(2), 2, 1)
+        runtime = Runtime(machine)
+        ev1, last1 = runtime.gate("g", parties=1)
+        assert last1
+        ev2, last2 = runtime.gate("g", parties=1)
+        assert last2
+        assert ev1 is not ev2
+
+    def test_gate_exchange_collects_items(self):
+        machine = Machine(cluster_b(2), 2, 1)
+        runtime = Runtime(machine)
+        ev1, last1, items1 = runtime.gate_exchange("x", 2, "a")
+        assert not last1 and items1 is None
+        ev2, last2, items2 = runtime.gate_exchange("x", 2, "b")
+        assert last2 and items2 == ["a", "b"]
+        assert ev1 is ev2
+
+    def test_shm_region_per_node(self):
+        machine = Machine(cluster_b(2), 4, 2)
+        runtime = Runtime(machine)
+        assert runtime.shm_region(0) is runtime.shm_region(0)
+        assert runtime.shm_region(0) is not runtime.shm_region(1)

@@ -1,0 +1,107 @@
+"""Tests for the shared-memory rendezvous region."""
+
+import pytest
+
+from repro.errors import MPIError
+from repro.mpi.shm import ShmRegion
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def region():
+    return ShmRegion(Simulator())
+
+
+class TestShmRegion:
+    def test_put_then_take(self, region):
+        region.put("k", 42)
+
+        def getter():
+            v = yield region.take("k")
+            return v
+
+        sim = region.sim
+        p = sim.process(getter())
+        sim.run()
+        assert p.value == 42
+        assert len(region) == 0  # take removes
+
+    def test_take_blocks_until_put(self, region):
+        sim = region.sim
+
+        def getter():
+            v = yield region.take("k")
+            return (sim.now, v)
+
+        def putter():
+            yield sim.timeout(2.0)
+            region.put("k", "late")
+
+        g = sim.process(getter())
+        sim.process(putter())
+        sim.run()
+        assert g.value == (2.0, "late")
+
+    def test_double_put_rejected(self, region):
+        region.put("k", 1)
+        with pytest.raises(MPIError):
+            region.put("k", 2)
+
+    def test_read_with_refcount(self, region):
+        sim = region.sim
+        region.put("k", "v")
+        got = []
+
+        def reader():
+            v = yield region.read("k", readers=3)
+            got.append(v)
+
+        for _ in range(3):
+            sim.process(reader())
+        sim.run()
+        assert got == ["v", "v", "v"]
+        assert len(region) == 0  # removed after the last reader
+
+    def test_read_keeps_value_until_last(self, region):
+        sim = region.sim
+        region.put("k", "v")
+
+        def reader():
+            yield region.read("k", readers=2)
+
+        sim.process(reader())
+        sim.run()
+        assert len(region) == 1  # one reader left
+
+    def test_multiple_waiters_woken_in_order(self, region):
+        sim = region.sim
+        order = []
+
+        def reader(i):
+            yield region.read("k", readers=3)
+            order.append(i)
+
+        for i in range(3):
+            sim.process(reader(i))
+
+        def putter():
+            yield sim.timeout(1.0)
+            region.put("k", "x")
+
+        sim.process(putter())
+        sim.run()
+        assert order == [0, 1, 2]
+
+    def test_distinct_keys_do_not_interfere(self, region):
+        sim = region.sim
+        region.put(("a", 1), "first")
+        region.put(("a", 2), "second")
+
+        def getter():
+            x = yield region.take(("a", 1))
+            y = yield region.take(("a", 2))
+            return (x, y)
+
+        p = sim.process(getter())
+        sim.run()
+        assert p.value == ("first", "second")

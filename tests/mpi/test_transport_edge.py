@@ -1,0 +1,154 @@
+"""Transport edge cases: protocol boundaries, bundles, contention."""
+
+import pytest
+
+from repro.machine.clusters import cluster_b
+from repro.mpi import run_job
+from repro.payload import Bundle, SymbolicPayload, make_payload
+
+
+class TestProtocolBoundaries:
+    def test_zero_byte_message(self):
+        def fn(comm):
+            if comm.rank == 0:
+                yield from comm.send(1, SymbolicPayload(0, 1), tag=1)
+                return None
+            msg = yield from comm.recv(0, tag=1)
+            return msg.nbytes
+
+        res = run_job(cluster_b(2), 2, fn, ppn=1)
+        assert res.values[1] == 0
+
+    def test_exact_eager_threshold_is_eager(self):
+        """A message of exactly eager_threshold bytes completes its send
+        before any receive is posted (i.e. took the eager path)."""
+        config = cluster_b(2)
+        threshold = config.fabric.eager_threshold
+
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend(1, SymbolicPayload(threshold, 1), tag=1)
+                yield from comm.wait(req)
+                done = comm.now
+                yield from comm.send(1, SymbolicPayload(0, 1), tag=2)
+                return done
+            yield comm.sim.timeout(0.01)  # post the recv very late
+            yield from comm.recv(0, tag=1)
+            yield from comm.recv(0, tag=2)
+
+        res = run_job(config, 2, fn, ppn=1)
+        assert res.values[0] < 0.01
+
+    def test_one_byte_over_threshold_is_rendezvous(self):
+        """threshold+1 bytes cannot complete before the recv is posted."""
+        config = cluster_b(2)
+        threshold = config.fabric.eager_threshold
+
+        def fn(comm):
+            if comm.rank == 0:
+                req = comm.isend(1, SymbolicPayload(threshold + 1, 1), tag=1)
+                yield from comm.wait(req)
+                return comm.now
+            yield comm.sim.timeout(0.01)
+            yield from comm.recv(0, tag=1)
+
+        res = run_job(config, 2, fn, ppn=1)
+        assert res.values[0] > 0.01  # had to wait for the CTS
+
+
+class TestBundles:
+    def test_bundle_through_eager_path(self):
+        def fn(comm):
+            if comm.rank == 0:
+                bundle = Bundle([make_payload(2, data=[1, 2]),
+                                 make_payload(3, data=[3, 4, 5])])
+                yield from comm.send(1, bundle, tag=1)
+                return None
+            msg = yield from comm.recv(0, tag=1)
+            return [p.array.tolist() for p in msg.parts]
+
+        res = run_job(cluster_b(2), 2, fn, ppn=1)
+        assert res.values[1] == [[1.0, 2.0], [3.0, 4.0, 5.0]]
+
+    def test_bundle_through_rendezvous_path(self):
+        config = cluster_b(2)
+        big = config.fabric.eager_threshold  # two of these exceed eager
+
+        def fn(comm):
+            if comm.rank == 0:
+                bundle = Bundle([SymbolicPayload(big, 1), SymbolicPayload(big, 1)])
+                yield from comm.send(1, bundle, tag=1)
+                return None
+            msg = yield from comm.recv(0, tag=1)
+            return (len(msg.parts), msg.nbytes)
+
+        res = run_job(config, 2, fn, ppn=1)
+        assert res.values[1] == (2, 2 * big)
+
+    def test_bundle_cost_is_sum_of_parts(self):
+        def timed(payload):
+            def fn(comm):
+                if comm.rank == 0:
+                    yield from comm.send(1, payload, tag=1)
+                    return None
+                yield from comm.recv(0, tag=1)
+                return comm.now
+
+            return run_job(cluster_b(2), 2, fn, ppn=1).values[1]
+
+        single = timed(SymbolicPayload(8192, 1))
+        bundled = timed(Bundle([SymbolicPayload(4096, 1), SymbolicPayload(4096, 1)]))
+        assert bundled == pytest.approx(single, rel=1e-9)
+
+
+class TestContention:
+    def test_concurrent_isends_serialize_on_engine(self):
+        """Two outstanding sends from one rank share its injection
+        engine; from two ranks they run in parallel."""
+        def one_sender(comm):
+            if comm.rank == 0:
+                reqs = [
+                    comm.isend(1, SymbolicPayload(8192, 1), tag=i)
+                    for i in range(8)
+                ]
+                yield from comm.waitall(reqs)
+                return comm.now
+            for i in range(8):
+                yield from comm.recv(0, tag=i)
+
+        def two_senders(comm):
+            if comm.rank < 2:
+                reqs = [
+                    comm.isend(2 + comm.rank, SymbolicPayload(8192, 1), tag=i)
+                    for i in range(4)
+                ]
+                yield from comm.waitall(reqs)
+                return comm.now
+            yield from comm.recv(comm.rank - 2, tag=0)
+            for i in range(1, 4):
+                yield from comm.recv(comm.rank - 2, tag=i)
+
+        serial = run_job(cluster_b(2), 2, one_sender, ppn=1).values[0]
+        parallel = max(
+            v for v in run_job(cluster_b(4), 4, two_senders, ppn=1).values
+            if v is not None
+        )
+        assert serial > 1.5 * parallel
+
+    def test_nic_shared_between_ranks_on_node(self):
+        """Two senders on ONE node share the NIC; on two nodes they don't."""
+        def senders(comm):
+            # ranks 0,1 send to ranks 2,3 respectively
+            if comm.rank < 2:
+                yield from comm.send(comm.rank + 2, SymbolicPayload(1 << 20, 1))
+                return comm.now
+            yield from comm.recv(comm.rank - 2)
+            return None
+
+        # Same source node: ppn=2, nodes [0]=ranks 0,1; receivers on 2,3.
+        shared = run_job(cluster_b(4), 4, senders, ppn=2).values
+        shared_t = max(v for v in shared if v is not None)
+        # Different source nodes: ppn=1.
+        split = run_job(cluster_b(4), 4, senders, ppn=1).values
+        split_t = max(v for v in split if v is not None)
+        assert shared_t >= split_t  # sharing can only hurt

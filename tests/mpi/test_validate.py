@@ -1,0 +1,32 @@
+"""Tests for the validation-matrix self-check."""
+
+from repro.mpi.validate import DEFAULT_LAYOUTS, ValidationReport, validate_all
+
+
+class TestValidationMatrix:
+    def test_reducing_kinds_subset(self):
+        report = validate_all(
+            kinds=["allreduce"], layouts=[(9, 3, 3)], counts=[13]
+        )
+        assert report.ok, report.failed[:5]
+        assert report.passed > 10  # all allreduce algorithms x 2 ops
+
+    def test_rooted_kinds_subset(self):
+        report = validate_all(
+            kinds=["gather", "scatter", "alltoall"],
+            layouts=[(10, 4, 3)],
+            counts=[1, 13],
+        )
+        assert report.ok, report.failed[:5]
+
+    def test_report_summary_format(self):
+        report = ValidationReport(passed=3, failed=["x"], skipped=[])
+        assert report.summary() == "3 passed, 1 failed, 0 skipped"
+        assert not report.ok
+
+    def test_default_layouts_cover_tricky_shapes(self):
+        nranks = [l[0] for l in DEFAULT_LAYOUTS]
+        assert any(n & (n - 1) for n in nranks)  # a non-power-of-two
+        assert any(l[0] < l[1] * l[2] for l in DEFAULT_LAYOUTS)  # partial node
+        assert any(l[2] == 1 for l in DEFAULT_LAYOUTS)  # single node
+        assert any(l[1] == 1 for l in DEFAULT_LAYOUTS)  # one rank/node

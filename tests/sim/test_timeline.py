@@ -1,0 +1,84 @@
+"""Tests for the timeline recorder and Chrome-trace export."""
+
+import json
+
+import pytest
+
+from repro.bench.harness import allreduce_latency
+from repro.machine.clusters import cluster_b
+from repro.sim.timeline import Span, Timeline
+
+
+class TestTimelineBasics:
+    def test_record_and_query(self):
+        tl = Timeline()
+        tl.record("compute", "combine", 0, 1.0, 2.0)
+        tl.record("copy", "shm", 0, 2.0, 2.5)
+        tl.record("compute", "combine", 1, 0.0, 3.0)
+        assert len(tl) == 3
+        assert tl.categories() == {"compute", "copy"}
+        assert tl.total_time("compute") == pytest.approx(4.0)
+        assert tl.total_time() == pytest.approx(4.5)
+        assert tl.busiest_rank() == 1
+
+    def test_spans_for_rank_sorted(self):
+        tl = Timeline()
+        tl.record("a", "x", 0, 5.0, 6.0)
+        tl.record("a", "y", 0, 1.0, 2.0)
+        spans = tl.spans_for(0)
+        assert [s.name for s in spans] == ["y", "x"]
+
+    def test_disabled_is_noop(self):
+        tl = Timeline(enabled=False)
+        tl.record("a", "x", 0, 0.0, 1.0)
+        assert len(tl) == 0
+
+    def test_backwards_span_rejected(self):
+        tl = Timeline()
+        with pytest.raises(ValueError):
+            tl.record("a", "x", 0, 2.0, 1.0)
+
+    def test_busiest_rank_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Timeline().busiest_rank()
+
+    def test_span_duration(self):
+        assert Span("a", "x", 0, 1.0, 3.5).duration == 2.5
+
+
+class TestChromeExport:
+    def test_trace_event_format(self, tmp_path):
+        tl = Timeline()
+        tl.record("compute", "combine", 3, 1e-6, 3e-6)
+        trace = tl.to_chrome_trace()
+        assert trace["traceEvents"] == [
+            {
+                "name": "combine",
+                "cat": "compute",
+                "ph": "X",
+                "ts": pytest.approx(1.0),
+                "dur": pytest.approx(2.0),
+                "pid": 0,
+                "tid": 3,
+            }
+        ]
+        path = tmp_path / "trace.json"
+        tl.dump(str(path))
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestMachineIntegration:
+    def test_allreduce_records_spans(self):
+        tl = Timeline()
+        allreduce_latency(
+            cluster_b(2), "dpml", 65536, ppn=4, leaders=2, timeline=tl,
+            iterations=1, warmup=0,
+        )
+        assert len(tl) > 0
+        cats = tl.categories()
+        assert "compute" in cats
+        assert "copy" in cats
+        assert "net-send" in cats
+        # Spans never exceed the run's horizon or go negative.
+        for s in tl.spans:
+            assert 0.0 <= s.start <= s.end

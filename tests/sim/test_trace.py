@@ -1,0 +1,41 @@
+"""Tests for the tracer."""
+
+from repro.sim import Tracer
+
+
+class TestTracer:
+    def test_charges_accumulate(self):
+        t = Tracer()
+        t.charge("copy", 1.5)
+        t.charge("copy", 0.5, count=3)
+        assert t.time("copy") == 2.0
+        assert t.count("copy") == 4
+
+    def test_disabled_tracer_is_noop(self):
+        t = Tracer(enabled=False)
+        t.charge("copy", 1.0)
+        assert t.time("copy") == 0.0
+        assert t.total_time() == 0.0
+
+    def test_unknown_category_is_zero(self):
+        t = Tracer()
+        assert t.time("nothing") == 0.0
+        assert t.count("nothing") == 0
+
+    def test_reset(self):
+        t = Tracer()
+        t.charge("x", 1.0)
+        t.reset()
+        assert t.total_time() == 0.0
+
+    def test_categories_sorted(self):
+        t = Tracer()
+        t.charge("z", 1.0)
+        t.charge("a", 1.0)
+        assert list(t.categories()) == ["a", "z"]
+
+    def test_as_dict_snapshot(self):
+        t = Tracer()
+        t.charge("net", 2.0, count=5)
+        snap = t.as_dict()
+        assert snap == {"net": {"time": 2.0, "count": 5.0}}

@@ -1,0 +1,51 @@
+"""Every example script must run cleanly end to end.
+
+The examples double as the library's acceptance tests — they exercise
+the public API exactly the way a downstream user would.  The slowest
+scripts are trimmed by environment knobs where they expose them, and
+this module is safe to run in parallel with the rest of the suite.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = sorted(
+    p.name for p in (pathlib.Path(__file__).parent.parent / "examples").glob("*.py")
+)
+
+# Expected stdout fragments proving each script did its real work.
+EXPECTED_OUTPUT = {
+    "quickstart.py": "speedup",
+    "leader_sweep.py": "model-best",
+    "sharp_offload.py": "host wins",
+    "deep_learning_allreduce.py": "gradient averaging by",
+    "hpcg_demo.py": "converged=True",
+    "miniamr_demo.py": "refinement time",
+    "custom_cluster.py": "best l=",
+    "collectives_tour.py": "functional tour",
+    "adaptive_selection.py": "locked on",
+    "timeline_trace.py": "Chrome trace written",
+}
+
+
+def test_every_example_has_an_expectation():
+    assert set(EXAMPLES) == set(EXPECTED_OUTPUT)
+
+
+@pytest.mark.parametrize("script", EXAMPLES)
+def test_example_runs(script, tmp_path):
+    args = [sys.executable, f"examples/{script}"]
+    if script == "timeline_trace.py":
+        args.append(str(tmp_path / "trace.json"))
+    result = subprocess.run(
+        args,
+        capture_output=True,
+        text=True,
+        timeout=600,
+        cwd=pathlib.Path(__file__).parent.parent,
+    )
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert EXPECTED_OUTPUT[script] in result.stdout
