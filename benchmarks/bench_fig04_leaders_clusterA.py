@@ -3,16 +3,21 @@
 Paper: 448 processes (16 nodes x 28 ppn).  This figure already runs at
 the paper's scale.  Reproduced shape: more leaders help medium/large
 messages (multi-x for >= 64 KB) and do not help tiny ones.
+
+This benchmark runs through the declarative sweep engine
+(:mod:`repro.bench.spec` + :mod:`repro.bench.executor`); figures 6/7
+exercise the historical ``fig4_to_7_leaders`` path, so both stacks stay
+covered.
 """
 
-from repro.bench.figures import fig4_to_7_leaders
+from repro.bench.spec import leader_sweep_spec
 
 SIZES = [1024, 8192, 65536, 524288]
 
 
-def test_fig4_leader_impact_cluster_a(run_figure):
-    result = run_figure(fig4_to_7_leaders, "fig4", sizes=SIZES)
-    data = result.meta["data"]
+def test_fig4_leader_impact_cluster_a(run_sweep):
+    result = run_sweep(leader_sweep_spec("fig4", sizes=SIZES))
+    data = result.by_size_leaders()
     # Large messages: 16 leaders beat 1 leader by >= 3x.
     assert data[524288][1] / data[524288][16] >= 3.0
     # Medium messages: clear multi-leader win.

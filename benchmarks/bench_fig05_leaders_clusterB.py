@@ -4,16 +4,19 @@ Paper: 1,792 processes (64 nodes x 28 ppn); headline from Section 6.2:
 "with 512KB message size, Cluster B shows 4.9 times lower latency with
 16 leaders compared to single leader per node".  Reduced scale runs 16
 nodes; set REPRO_PAPER_SCALE=1 for 64.
+
+Runs through the declarative sweep engine (spec + serial executor) —
+the same sweep the CLI's ``run fig5`` command executes.
 """
 
-from repro.bench.figures import fig4_to_7_leaders, paper_scale
+from repro.bench.spec import leader_sweep_spec, paper_scale
 
 SIZES = [1024, 8192, 65536, 524288]
 
 
-def test_fig5_leader_impact_cluster_b(run_figure):
-    result = run_figure(fig4_to_7_leaders, "fig5", sizes=SIZES)
-    data = result.meta["data"]
+def test_fig5_leader_impact_cluster_b(run_sweep):
+    result = run_sweep(leader_sweep_spec("fig5", sizes=SIZES))
+    data = result.by_size_leaders()
     ratio_512k = data[524288][1] / data[524288][16]
     # Section 6.2 headline: ~4.9x at paper scale; >= 3x at 16 nodes.
     assert ratio_512k >= (4.0 if paper_scale() else 3.0)

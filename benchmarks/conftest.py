@@ -27,3 +27,31 @@ def run_figure(benchmark, capsys):
         return result
 
     return _run
+
+
+@pytest.fixture
+def run_sweep(benchmark, capsys):
+    """Run one SweepSpec through the sweep engine under pytest-benchmark.
+
+    The declarative counterpart of ``run_figure``: takes a
+    :class:`repro.bench.spec.SweepSpec`, executes it with the serial
+    executor (session reuse, per-point error capture), and returns the
+    :class:`repro.bench.spec.SweepResult`.
+    """
+    from repro.bench.executor import SerialExecutor
+
+    def _run(spec):
+        result = benchmark.pedantic(
+            lambda: SerialExecutor().run(spec), rounds=1, iterations=1
+        )
+        benchmark.extra_info["sweep"] = spec.name
+        benchmark.extra_info["spec_hash"] = spec.spec_hash()
+        benchmark.extra_info["scale"] = (
+            f"{spec.nodes} nodes x {spec.ppn} ppn = {spec.nodes * spec.ppn} ranks"
+        )
+        with capsys.disabled():
+            print("\n" + result.table() + "\n")
+        assert result.ok, f"sweep failed: {[r.error for r in result.errors]}"
+        return result
+
+    return _run

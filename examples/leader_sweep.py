@@ -6,13 +6,20 @@ chosen cluster, prints the latency matrix, and compares the empirical
 best leader count against the analytical cost model's prediction
 (Equation 7).
 
-Run:  python examples/leader_sweep.py [a|b|c|d]
+Built on the declarative sweep engine: a
+:class:`~repro.bench.spec.SweepSpec` describes the study and an
+executor runs it — serially by default, or across worker processes
+with ``--jobs N`` (one simulation session per worker, reused for every
+point it measures).
+
+Run:  python examples/leader_sweep.py [a|b|c|d] [--jobs N]
 """
 
-import sys
+import argparse
 
+from repro.bench.executor import get_executor
 from repro.bench.report import format_size, format_us
-from repro.bench.sweep import leader_sweep
+from repro.bench.spec import SweepSpec
 from repro.core.model import CostModel
 from repro.machine.clusters import get_cluster
 
@@ -21,19 +28,39 @@ SIZES = (1024, 8192, 65536, 524288, 4194304)
 
 
 def main() -> None:
-    cluster = sys.argv[1] if len(sys.argv) > 1 else "b"
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("cluster", nargs="?", default="b",
+                        help="cluster preset: a, b, c, or d")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (1 = in-process serial)")
+    args = parser.parse_args()
+
     nodes = 16
-    config = get_cluster(cluster, nodes)
+    config = get_cluster(args.cluster, nodes)
     ppn = min(28, config.node.cores)
     model = CostModel.from_machine(config)
 
+    spec = SweepSpec(
+        name=f"leader-sweep-{config.name}",
+        cluster=args.cluster,
+        nodes=nodes,
+        ppn=ppn,
+        sizes=SIZES,
+        algorithms=("dpml",),
+        leader_counts=LEADERS,
+    )
+    executor = get_executor(args.jobs)
+    result = executor.run(spec)
+    data = result.by_size_leaders()
+
     print(f"DPML leader sweep on {config.name} ({nodes} nodes x {ppn} ppn), us:")
+    print(f"  [spec {spec.spec_hash()}, {executor.kind} executor, "
+          f"{result.meta['wall_seconds']:.1f}s wall]")
     header = f"{'size':>8} " + " ".join(f"{f'l={l}':>10}" for l in LEADERS) + \
         f" {'best':>5} {'model-best':>11}"
     print(header)
     print("-" * len(header))
 
-    data = leader_sweep(config, ppn=ppn, sizes=SIZES, leader_counts=LEADERS)
     for size in SIZES:
         times = data[size]
         best = min(times, key=times.get)

@@ -1,17 +1,57 @@
 """Experiment harness: sweeps, tables, and the figure regenerators.
 
 * :mod:`repro.bench.harness` — run one measurement (e.g. the latency of
-  one allreduce configuration at one message size);
-* :mod:`repro.bench.sweep` — parameter sweeps over message sizes,
-  leader counts, algorithms;
+  one allreduce configuration at one message size), optionally on a
+  reusable :class:`~repro.mpi.runtime.SimSession`;
+* :mod:`repro.bench.spec` — declarative sweeps: a
+  :class:`~repro.bench.spec.SweepSpec` expands into
+  :class:`~repro.bench.spec.SamplePoint` measurements and executors
+  return a JSON-serialisable :class:`~repro.bench.spec.SweepResult`;
+* :mod:`repro.bench.executor` — serial and process-parallel sweep
+  execution with per-point error capture;
+* :mod:`repro.bench.sweep` — the historical dict-shaped sweep wrappers;
 * :mod:`repro.bench.report` — fixed-width tables matching the paper's
   figure axes;
 * :mod:`repro.bench.figures` — one entry point per paper figure
   (Fig. 1 throughput study through Fig. 11 applications);
-* :mod:`repro.bench.cli` — ``python -m repro.bench fig9 --cluster c``.
+* :mod:`repro.bench.cli` — ``python -m repro.bench fig9b`` /
+  ``python -m repro.bench run fig5 --jobs 4``.
 """
 
+from repro.bench.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    default_executor,
+    get_executor,
+    run_point,
+)
 from repro.bench.harness import allreduce_latency, allreduce_sweep
-from repro.bench.report import format_table
+from repro.bench.report import format_table, sweep_table
+from repro.bench.spec import (
+    PointResult,
+    SamplePoint,
+    SweepResult,
+    SweepSpec,
+    algorithm_sweep_spec,
+    leader_sweep_spec,
+    named_sweep,
+)
 
-__all__ = ["allreduce_latency", "allreduce_sweep", "format_table"]
+__all__ = [
+    "allreduce_latency",
+    "allreduce_sweep",
+    "format_table",
+    "sweep_table",
+    "SweepSpec",
+    "SamplePoint",
+    "PointResult",
+    "SweepResult",
+    "leader_sweep_spec",
+    "algorithm_sweep_spec",
+    "named_sweep",
+    "SerialExecutor",
+    "ParallelExecutor",
+    "get_executor",
+    "default_executor",
+    "run_point",
+]

@@ -3,11 +3,17 @@
 Commands
 --------
 ``list``
-    Show available figure regenerators.
+    Show available figure regenerators and named sweeps.
 ``fig1a`` .. ``fig11bc``, ``model``, ``ablation``
     Run one figure and print its table.
 ``all``
     Run every figure (slow; respects ``REPRO_PAPER_SCALE``).
+``run <sweep> [--jobs N] [--output out.json]``
+    Run a named sweep (``fig4`` .. ``fig10``) through the sweep engine —
+    serial with ``--jobs 1`` (default), process-parallel otherwise —
+    and print its table / write its JSON record.  ``--canonical``
+    strips the volatile metadata (executor, wall time) so two runs of
+    the same spec diff clean.
 ``autotune --cluster c [--ppn 28]``
     Regenerate the DPML tuning table for one cluster preset.
 """
@@ -20,6 +26,7 @@ import time
 
 from repro.bench.figures import FIGURES
 from repro.core.autotune import autotune_cluster
+from repro.errors import ReproError
 from repro.machine.clusters import get_cluster
 
 __all__ = ["main"]
@@ -65,6 +72,71 @@ def _chart_for(result):
         return None
 
 
+def _run_sweep(args) -> int:
+    """The ``run`` command: named sweep -> executor -> table/JSON."""
+    from repro.bench.executor import get_executor
+    from repro.bench.spec import SWEEPS, named_sweep
+
+    if not args.target:
+        print("run needs a sweep name; available sweeps:", file=sys.stderr)
+        for name in sorted(SWEEPS):
+            print(f"  {name}", file=sys.stderr)
+        return 2
+    try:
+        sizes = (
+            tuple(int(s) for s in args.sizes.split(",")) if args.sizes else None
+        )
+    except ValueError:
+        print(
+            f"--sizes wants a comma-separated list of byte counts, "
+            f"got {args.sizes!r}",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spec = named_sweep(
+            args.target,
+            sizes=sizes,
+            repeats=args.repeats,
+            sigma=args.sigma,
+            base_seed=args.seed,
+        )
+        executor = get_executor(args.jobs)
+    except ReproError as e:
+        print(str(e), file=sys.stderr)
+        return 2
+    print(
+        f"running sweep {spec.name!r} ({spec.n_points} points, "
+        f"spec {spec.spec_hash()}) with {executor.kind} executor"
+        + (f" x{executor.jobs}" if executor.kind == "parallel" else ""),
+        file=sys.stderr,
+    )
+
+    def progress(done, total, result):
+        status = "ok" if result.ok else "ERROR"
+        print(
+            f"  [{done}/{total}] {result.point.label()}: {status}",
+            file=sys.stderr,
+        )
+
+    result = executor.run(spec, progress=progress if args.progress else None)
+    print(result.table())
+    wall = result.meta["wall_seconds"]
+    errors = result.meta["n_errors"]
+    print(
+        f"[{spec.name}: {result.meta['n_points']} points in {wall:.1f}s wall"
+        + (f", {errors} errors" if errors else "")
+        + "]",
+        file=sys.stderr,
+    )
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(result.to_json(include_meta=not args.canonical))
+            fh.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0 if result.ok else 1
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro-bench",
@@ -73,7 +145,11 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "command",
-        help="'list', 'all', 'autotune', or a figure name (e.g. fig9b)",
+        help="'list', 'all', 'run', 'autotune', or a figure name (e.g. fig9b)",
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="sweep name for 'run' (e.g. fig5) or experiment ids",
     )
     parser.add_argument("--cluster", default="b", help="cluster preset for autotune")
     parser.add_argument("--ppn", type=int, default=28, help="ppn for autotune")
@@ -81,22 +157,56 @@ def main(argv: list[str] | None = None) -> int:
         "--nodes", type=int, default=16, help="node count for autotune"
     )
     parser.add_argument(
-        "--output", default=None, help="output path for 'experiments'"
+        "--output", default=None, help="output path for 'experiments' / 'run'"
     )
     parser.add_argument(
         "--plot", action="store_true",
         help="also render figures as ASCII log-log charts",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=1,
+        help="worker processes for 'run' (1 = in-process serial)",
+    )
+    parser.add_argument(
+        "--sizes", default=None,
+        help="comma-separated message sizes for 'run' (bytes)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=1,
+        help="noisy repeats per point for 'run'",
+    )
+    parser.add_argument(
+        "--sigma", type=float, default=0.0,
+        help="noise level for 'run' repeats",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="base noise seed for 'run'"
+    )
+    parser.add_argument(
+        "--progress", action="store_true",
+        help="print per-point progress for 'run' (stderr)",
+    )
+    parser.add_argument(
+        "--canonical", action="store_true",
+        help="write 'run' JSON without volatile metadata (diff-friendly)",
+    )
     args = parser.parse_args(argv)
 
     command = args.command.lower()
     if command == "list":
+        from repro.bench.spec import SWEEPS
+
         print("available figures:")
         for name in FIGURES:
+            print(f"  {name}")
+        print("named sweeps (for 'run'):")
+        for name in sorted(SWEEPS):
             print(f"  {name}")
         return 0
     if command == "all":
         return _run_figures(list(FIGURES), plot=args.plot)
+    if command == "run":
+        return _run_sweep(args)
     if command == "experiments":
         from repro.bench.experiments import generate_experiments_report
 

@@ -218,7 +218,11 @@ def generate_experiments_report(out=None, selected=None) -> str:
         buf.write("```\n")
         buf.write(result.table)
         buf.write("\n```\n\n")
-        buf.write(f"_(regenerated in {time.time() - t0:.1f}s wall)_\n\n")
+        stamp = f"_(regenerated in {time.time() - t0:.1f}s wall)_"
+        spec_hash = result.meta.get("spec_hash")
+        if spec_hash:
+            stamp += f" _(sweep spec `{spec_hash}`)_"
+        buf.write(f"{stamp}\n\n")
     report = buf.getvalue()
     if out:
         with open(out, "w") as fh:

@@ -17,7 +17,6 @@ long run.  Each row of EXPERIMENTS.md records which scale produced it.
 
 from __future__ import annotations
 
-import os
 from dataclasses import dataclass, field
 from typing import Callable, Optional, Sequence
 
@@ -25,7 +24,13 @@ from repro.apps.hpcg import run_hpcg
 from repro.apps.miniamr import run_miniamr
 from repro.apps.osu import relative_throughput
 from repro.bench.report import format_size, format_table, format_us
-from repro.bench.sweep import PAPER_SIZES, SMALL_SIZES, algorithm_sweep, leader_sweep
+from repro.bench.spec import (
+    SweepResult,
+    SweepSpec,
+    algorithm_sweep_spec,
+    leader_sweep_spec,
+    paper_scale,
+)
 from repro.core.model import CostModel
 from repro.machine.clusters import cluster_a, cluster_b, cluster_c, cluster_d
 
@@ -45,9 +50,11 @@ __all__ = [
 ]
 
 
-def paper_scale() -> bool:
-    """Whether to run at the paper's full process counts."""
-    return os.environ.get("REPRO_PAPER_SCALE", "").lower() in ("1", "true", "yes")
+def _run_sweep(spec: SweepSpec) -> SweepResult:
+    """Execute a figure's spec (``REPRO_BENCH_JOBS`` selects the executor)."""
+    from repro.bench.executor import default_executor
+
+    return default_executor().run(spec)
 
 
 @dataclass
@@ -117,11 +124,11 @@ def fig1_throughput(
 # ------------------------------------------------------- Figures 4-7
 
 
-_LEADER_FIGURES = {
-    "fig4": ("Figure 4 (Cluster A)", cluster_a, 16, 16, 28),
-    "fig5": ("Figure 5 (Cluster B)", cluster_b, 64, 16, 28),
-    "fig6": ("Figure 6 (Cluster C)", cluster_c, 64, 16, 28),
-    "fig7": ("Figure 7 (Cluster D)", cluster_d, 32, 16, 32),
+_LEADER_TITLES = {
+    "fig4": "Figure 4 (Cluster A)",
+    "fig5": "Figure 5 (Cluster B)",
+    "fig6": "Figure 6 (Cluster C)",
+    "fig7": "Figure 7 (Cluster D)",
 }
 
 
@@ -131,30 +138,24 @@ def fig4_to_7_leaders(
     sizes: Optional[Sequence[int]] = None,
 ) -> FigureResult:
     """Figs. 4-7: DPML latency vs leader count per message size."""
-    title, factory, paper_nodes, reduced_nodes, ppn = _LEADER_FIGURES[which]
-    nodes = paper_nodes if paper_scale() else reduced_nodes
-    leader_counts = [1, 2, 4, 8, 16]
-    sizes = list(sizes or PAPER_SIZES)
-    data = leader_sweep(
-        factory(nodes),
-        ppn=ppn,
-        sizes=sizes,
-        leader_counts=leader_counts,
-        iterations=iterations,
-    )
+    spec = leader_sweep_spec(which, sizes=sizes, iterations=iterations)
+    result = _run_sweep(spec)
+    data = result.by_size_leaders()
+    leader_counts = list(spec.effective_leader_counts)
     rows = [
         {
             "size": format_size(s),
             **{f"l={l}": format_us(data[s][l]) for l in leader_counts},
             "best": min(data[s], key=data[s].get),
         }
-        for s in sizes
+        for s in spec.sizes
     ]
     return FigureResult(
-        name=f"{title}: DPML allreduce latency (us) vs leaders",
+        name=f"{_LEADER_TITLES[which]}: DPML allreduce latency (us) vs leaders",
         rows=rows,
         columns=["size"] + [f"l={l}" for l in leader_counts] + ["best"],
-        meta={**_scale_meta(nodes, ppn), "data": data},
+        meta={**_scale_meta(spec.nodes, spec.ppn), "data": data,
+              "spec_hash": spec.spec_hash()},
     )
 
 
@@ -165,14 +166,13 @@ def fig8_sharp(
     ppn: int = 28, iterations: int = 2, sizes: Optional[Sequence[int]] = None
 ) -> FigureResult:
     """Fig. 8: host-based vs SHArP node-/socket-leader (Cluster A, 16 nodes)."""
-    nodes = 16
-    sizes = list(sizes or SMALL_SIZES)
-    algorithms = ["mvapich2", "sharp_node_leader", "sharp_socket_leader"]
-    data = algorithm_sweep(
-        cluster_a(nodes), algorithms, ppn=ppn, sizes=sizes, iterations=iterations
-    )
+    spec = algorithm_sweep_spec(
+        "fig8", sizes=sizes, iterations=iterations
+    ).with_overrides(ppn=ppn)
+    result = _run_sweep(spec)
+    data = result.by_size_algorithm()
     rows = []
-    for s in sizes:
+    for s in spec.sizes:
         host = data[s]["mvapich2"]
         rows.append(
             {
@@ -189,18 +189,19 @@ def fig8_sharp(
         rows=rows,
         columns=["size", "host", "node-leader", "socket-leader",
                  "nl-speedup", "sl-speedup"],
-        meta={**_scale_meta(nodes, ppn), "data": data},
+        meta={**_scale_meta(spec.nodes, spec.ppn), "data": data,
+              "spec_hash": spec.spec_hash()},
     )
 
 
 # ------------------------------------------------------------- Figure 9
 
 
-_LIBRARY_FIGURES = {
-    "a": ("Figure 9(a) Cluster A", cluster_a, 16, 16, 28, False),
-    "b": ("Figure 9(b) Cluster B", cluster_b, 64, 16, 28, False),
-    "c": ("Figure 9(c) Cluster C", cluster_c, 64, 16, 28, True),
-    "d": ("Figure 9(d) Cluster D", cluster_d, 32, 16, 32, True),
+_LIBRARY_TITLES = {
+    "a": "Figure 9(a) Cluster A",
+    "b": "Figure 9(b) Cluster B",
+    "c": "Figure 9(c) Cluster C",
+    "d": "Figure 9(d) Cluster D",
 }
 
 
@@ -210,17 +211,15 @@ def fig9_libraries(
     sizes: Optional[Sequence[int]] = None,
 ) -> FigureResult:
     """Fig. 9: proposed DPML-tuned vs MVAPICH2 (and Intel MPI on C/D)."""
-    title, factory, paper_nodes, reduced_nodes, ppn, with_intel = _LIBRARY_FIGURES[
-        variant.lower()
-    ]
-    nodes = paper_nodes if paper_scale() else reduced_nodes
-    algorithms = ["mvapich2"] + (["intel_mpi"] if with_intel else []) + ["dpml_tuned"]
-    sizes = list(sizes or PAPER_SIZES)
-    data = algorithm_sweep(
-        factory(nodes), algorithms, ppn=ppn, sizes=sizes, iterations=iterations
-    )
+    variant = variant.lower()
+    title = _LIBRARY_TITLES[variant]
+    spec = algorithm_sweep_spec(f"fig9{variant}", sizes=sizes, iterations=iterations)
+    result = _run_sweep(spec)
+    data = result.by_size_algorithm()
+    algorithms = list(spec.algorithms)
+    with_intel = "intel_mpi" in algorithms
     rows = []
-    for s in sizes:
+    for s in spec.sizes:
         row = {"size": format_size(s)}
         for alg in algorithms:
             row[alg] = format_us(data[s][alg])
@@ -235,7 +234,8 @@ def fig9_libraries(
         name=f"{title}: MPI_Allreduce latency (us)",
         rows=rows,
         columns=columns,
-        meta={**_scale_meta(nodes, ppn), "data": data},
+        meta={**_scale_meta(spec.nodes, spec.ppn), "data": data,
+              "spec_hash": spec.spec_hash()},
     )
 
 
@@ -249,17 +249,12 @@ def fig10_scale(
 
     Paper scale: 160 nodes x 64 ppn = 10,240 ranks.  Reduced: 64 x 32.
     """
-    if paper_scale():
-        nodes, ppn = 160, 64
-    else:
-        nodes, ppn = 64, 32
-    algorithms = ["mvapich2", "intel_mpi", "dpml_tuned"]
-    sizes = list(sizes or [1024, 16384, 262144, 1048576])
-    data = algorithm_sweep(
-        cluster_d(nodes), algorithms, ppn=ppn, sizes=sizes, iterations=iterations
-    )
+    spec = algorithm_sweep_spec("fig10", sizes=sizes, iterations=iterations)
+    result = _run_sweep(spec)
+    data = result.by_size_algorithm()
+    algorithms = list(spec.algorithms)
     rows = []
-    for s in sizes:
+    for s in spec.sizes:
         rows.append(
             {
                 "size": format_size(s),
@@ -272,7 +267,8 @@ def fig10_scale(
         name="Figure 10: MPI_Allreduce latency at scale, Cluster D (us)",
         rows=rows,
         columns=["size"] + algorithms + ["vs-mvapich2", "vs-intel"],
-        meta={**_scale_meta(nodes, ppn), "data": data},
+        meta={**_scale_meta(spec.nodes, spec.ppn), "data": data,
+              "spec_hash": spec.spec_hash()},
     )
 
 

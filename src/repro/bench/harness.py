@@ -6,11 +6,16 @@ latency reported from rank 0.  Payloads are symbolic by default (the
 simulated time is identical and the host-side numpy work is skipped);
 pass ``validate=True`` to carry real data and assert the result against
 the numpy reference on every rank.
+
+Repeated measurements on the same layout (sweeps, noisy repeats) should
+pass a reusable :class:`~repro.mpi.runtime.SimSession` so each sample
+skips machine construction; the session is reset before every run and
+produces bit-identical timings to a fresh build.
 """
 
 from __future__ import annotations
 
-from typing import Optional, Sequence, Union
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -20,7 +25,7 @@ from repro.errors import ReproError
 from repro.machine.config import MachineConfig
 from repro.machine.machine import Machine
 from repro.machine.noise import NoiseModel
-from repro.mpi.runtime import Runtime
+from repro.mpi.runtime import Runtime, SimSession
 from repro.payload.ops import SUM, ReduceOp
 from repro.payload.payload import DataPayload, SymbolicPayload
 
@@ -44,12 +49,18 @@ def allreduce_latency(
     trace: bool = False,
     noise: Optional[NoiseModel] = None,
     timeline=None,
+    session: Optional[SimSession] = None,
     **alg_kwargs,
 ) -> float:
     """Average per-call allreduce latency (seconds).
 
     ``nbytes`` is the message size; the element count is
     ``nbytes / 4`` (MPI_FLOAT), minimum one element.
+
+    ``session`` optionally supplies a pre-built
+    :class:`~repro.mpi.runtime.SimSession` whose layout must match
+    ``(config, nranks, ppn)``; the measurement then reuses its machine
+    instead of constructing a fresh one.
     """
     if nranks is None:
         if ppn is None:
@@ -86,10 +97,18 @@ def allreduce_latency(
                 )
         return elapsed
 
-    machine = Machine(
-        config, nranks, ppn, trace=trace, noise=noise, timeline=timeline
-    )
-    job = Runtime(machine).launch(bench)
+    if session is not None:
+        if not session.matches(config, nranks, ppn):
+            raise ReproError(
+                f"session layout {session.key} does not match the requested "
+                f"point ({config.name!r}, nranks={nranks}, ppn={ppn})"
+            )
+        job = session.run(bench, noise=noise, timeline=timeline)
+    else:
+        machine = Machine(
+            config, nranks, ppn, trace=trace, noise=noise, timeline=timeline
+        )
+        job = Runtime(machine).launch(bench)
     # The slowest rank's window is the collective's completion latency
     # (matches how OSU reports max across ranks at scale).
     return float(max(job.values))
@@ -122,24 +141,33 @@ def allreduce_latency_stats(
     repeats: int = 5,
     sigma: float = 0.05,
     base_seed: int = 0,
+    session: Optional[SimSession] = None,
     **kwargs,
 ) -> LatencyStats:
     """Latency statistics over ``repeats`` jittered runs.
 
     Mirrors the paper's methodology ("averages of a minimum of five
     runs"): each repeat uses a different noise seed; ``sigma=0``
-    degenerates to ``repeats`` identical deterministic runs.
+    degenerates to ``repeats`` identical deterministic runs.  All
+    repeats share one simulation session (the caller's, or one built
+    here), so only the first pays machine construction.
     """
-    import numpy as np
-
     if repeats < 1:
         raise ReproError("allreduce_latency_stats needs repeats >= 1")
+    if session is None:
+        nranks = kwargs.get("nranks")
+        ppn = kwargs.get("ppn")
+        if nranks is None and ppn is not None:
+            nranks = config.nodes * ppn
+        if nranks is not None:
+            session = SimSession(config, nranks, ppn)
     samples = tuple(
         allreduce_latency(
             config,
             algorithm,
             nbytes,
             noise=NoiseModel(sigma=sigma, seed=base_seed + i),
+            session=session,
             **kwargs,
         )
         for i in range(repeats)
@@ -163,9 +191,17 @@ def allreduce_sweep(
     ppn: Optional[int] = None,
     iterations: int = 3,
     warmup: int = 1,
+    session: Optional[SimSession] = None,
     **kwargs,
 ) -> dict[int, float]:
-    """Latency (seconds) per message size in ``sizes``."""
+    """Latency (seconds) per message size in ``sizes``.
+
+    All sizes share one layout, so a single session serves the sweep.
+    """
+    if session is None and (nranks is not None or ppn is not None):
+        session = SimSession(
+            config, nranks if nranks is not None else config.nodes * ppn, ppn
+        )
     return {
         size: allreduce_latency(
             config,
@@ -175,6 +211,7 @@ def allreduce_sweep(
             ppn=ppn,
             iterations=iterations,
             warmup=warmup,
+            session=session,
             **kwargs,
         )
         for size in sizes

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-__all__ = ["format_table", "format_size", "format_us", "speedup"]
+__all__ = ["format_table", "format_size", "format_us", "speedup", "sweep_table"]
 
 
 def format_size(nbytes: float) -> str:
@@ -38,6 +38,56 @@ def speedup(baseline: float, improved: float) -> float:
     if improved <= 0:
         raise ZeroDivisionError("cannot compute speedup over zero time")
     return baseline / improved
+
+
+def sweep_table(result) -> str:
+    """Render a :class:`~repro.bench.spec.SweepResult` as a text table.
+
+    Leader sweeps get one ``l=<n>`` column per leader count; algorithm
+    sweeps one column per algorithm; mixed sweeps one per (algorithm,
+    leaders) pair.  Failed points render as ``ERROR``.
+    """
+    spec = result.spec
+    multi_alg = len(spec.algorithms) > 1
+    multi_lead = len(spec.effective_leader_counts) > 1
+
+    def series_label(algorithm, leaders):
+        parts = []
+        if multi_alg or not multi_lead:
+            parts.append(str(algorithm))
+        if leaders is not None and (multi_lead or not multi_alg):
+            parts.append(f"l={leaders}")
+        return " ".join(parts) or str(algorithm)
+
+    cells: dict[int, dict[str, str]] = {}
+    columns: list[str] = []
+    for r in result.results:
+        label = series_label(r.point.algorithm, r.point.leaders)
+        if label not in columns:
+            columns.append(label)
+        row = cells.setdefault(r.point.nbytes, {})
+        if not r.ok:
+            row[label] = "ERROR"
+        elif label in row:  # repeats: average as we go
+            pass
+        else:
+            samples = [
+                x.latency
+                for x in result.results
+                if x.ok
+                and x.point.nbytes == r.point.nbytes
+                and series_label(x.point.algorithm, x.point.leaders) == label
+            ]
+            row[label] = format_us(sum(samples) / len(samples))
+    rows = [
+        {"size": format_size(size), **cells[size]} for size in spec.sizes
+    ]
+    title = (
+        f"{spec.name}: {spec.nodes} nodes x {spec.ppn} ppn, "
+        f"latency (us)  [{result.meta.get('executor', '?')}"
+        f" x{result.meta.get('jobs', '?')}]"
+    )
+    return format_table(rows, ["size"] + columns, title=title)
 
 
 def format_table(

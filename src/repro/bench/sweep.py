@@ -1,22 +1,36 @@
-"""Parameter sweeps used by the figure regenerators."""
+"""Parameter sweeps used by the figure regenerators.
+
+These are the historical dict-shaped entry points.  Since the sweep
+engine refactor they are thin wrappers: each one builds a declarative
+:class:`~repro.bench.spec.SweepSpec` and runs it through an executor
+(serial by default; set ``REPRO_BENCH_JOBS=N`` to fan out across
+processes), so every call benefits from per-layout session reuse.
+Callers who want error capture, JSON records, or explicit parallelism
+should use :mod:`repro.bench.spec` / :mod:`repro.bench.executor`
+directly.
+"""
 
 from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from repro.bench.harness import allreduce_latency
+from repro.bench.spec import PAPER_SIZES, SMALL_SIZES, SweepSpec
+from repro.errors import ReproError
 from repro.machine.config import MachineConfig
 
 __all__ = ["leader_sweep", "algorithm_sweep", "PAPER_SIZES", "SMALL_SIZES"]
 
-#: Message sizes (bytes) matching the paper's microbenchmark x-axes
-#: (512KB included: it carries the Section 6.2 headline numbers).
-PAPER_SIZES = [
-    4, 16, 64, 256, 1024, 4096, 16384, 65536, 262144, 524288, 1048576,
-]
 
-#: The small-message range of Figure 8.
-SMALL_SIZES = [4, 16, 64, 256, 1024, 2048, 4096]
+def _run_spec(spec: SweepSpec):
+    from repro.bench.executor import default_executor
+
+    result = default_executor().run(spec)
+    if not result.ok:
+        # The historical API raised on the first failure; keep that
+        # contract for wrapped callers.
+        first = result.errors[0]
+        raise ReproError(f"[{first.point.label()}] {first.error}")
+    return result
 
 
 def leader_sweep(
@@ -29,17 +43,17 @@ def leader_sweep(
     iterations: int = 2,
 ) -> dict[int, dict[int, float]]:
     """Figures 4-7 data: ``{size: {leaders: latency}}``."""
-    cfg = config if nodes is None else config.with_nodes(nodes)
-    out: dict[int, dict[int, float]] = {}
-    for size in sizes:
-        out[size] = {
-            l: allreduce_latency(
-                cfg, "dpml", size, ppn=ppn, iterations=iterations, leaders=l
-            )
-            for l in leader_counts
-            if l <= ppn
-        }
-    return out
+    spec = SweepSpec(
+        name=f"leader-sweep-{config.name}",
+        cluster=config if nodes is None else config.with_nodes(nodes),
+        nodes=nodes if nodes is not None else config.nodes,
+        ppn=ppn,
+        sizes=tuple(sizes),
+        algorithms=("dpml",),
+        leader_counts=tuple(leader_counts),
+        iterations=iterations,
+    )
+    return _run_spec(spec).by_size_leaders()
 
 
 def algorithm_sweep(
@@ -52,13 +66,13 @@ def algorithm_sweep(
     iterations: int = 2,
 ) -> dict[int, dict[str, float]]:
     """Figures 8-10 data: ``{size: {algorithm: latency}}``."""
-    cfg = config if nodes is None else config.with_nodes(nodes)
-    out: dict[int, dict[str, float]] = {}
-    for size in sizes:
-        out[size] = {
-            alg: allreduce_latency(
-                cfg, alg, size, ppn=ppn, iterations=iterations
-            )
-            for alg in algorithms
-        }
-    return out
+    spec = SweepSpec(
+        name=f"algorithm-sweep-{config.name}",
+        cluster=config if nodes is None else config.with_nodes(nodes),
+        nodes=nodes if nodes is not None else config.nodes,
+        ppn=ppn,
+        sizes=tuple(sizes),
+        algorithms=tuple(algorithms),
+        iterations=iterations,
+    )
+    return _run_spec(spec).by_size_algorithm()

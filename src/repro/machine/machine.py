@@ -98,6 +98,37 @@ class Machine:
         else:
             self.fabric_tree = None
 
+    def reset(
+        self,
+        *,
+        noise: Optional[NoiseModel] = None,
+        timeline: Optional[Timeline] = None,
+    ) -> "Machine":
+        """Rewind to a pristine pre-job state, reusing the layout.
+
+        Keeps the validated config, the placement map, and every queue
+        object (the expensive part of construction) while rewinding the
+        simulator clock, zeroing all queue horizons and the tracer, and
+        installing fresh per-run ``noise``/``timeline``.  A passed-in
+        noise model is rewound to its seed, so a run on a reset machine
+        is bit-identical to the same run on a freshly built one — the
+        determinism guarantee :class:`~repro.mpi.runtime.SimSession`
+        relies on.
+        """
+        self.sim.reset()
+        self.tracer.reset()
+        if noise is not None:
+            noise.reset()
+        self.noise = noise
+        self.timeline = timeline
+        for queue in (*self.engine, *self.nic_tx, *self.nic_rx, *self.mem):
+            queue.reset()
+        if self.sharp is not None:
+            self.sharp.reset()
+        if self.fabric_tree is not None:
+            self.fabric_tree.reset()
+        return self
+
     # -- placement shortcuts -------------------------------------------------
 
     def loc(self, rank: int) -> Loc:

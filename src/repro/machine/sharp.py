@@ -52,6 +52,10 @@ class SharpTree:
         self.nodes = nodes
         self.contexts = Resource(sim, config.max_outstanding, name="sharp-contexts")
 
+    def reset(self) -> None:
+        """Release all switch operation contexts (for simulator reuse)."""
+        self.contexts.reset()
+
     def depth(self, leaves: int) -> int:
         """Number of aggregation levels for ``leaves`` data sources."""
         if leaves < 1:

@@ -28,7 +28,7 @@ from repro.mpi.shm import ShmRegion
 from repro.mpi.transport import Transport
 from repro.sim import Simulator, Tracer
 
-__all__ = ["Runtime", "JobResult", "run_job"]
+__all__ = ["Runtime", "JobResult", "SimSession", "run_job"]
 
 RankFn = Callable[..., Generator]
 
@@ -45,8 +45,27 @@ class Runtime:
         self._shm_regions: dict[int, ShmRegion] = {}
         # Rendezvous gates for operations coordinated outside the p2p
         # matching path (e.g. one SHArP tree operation shared by all
-        # leaders); see gate().
+        # leaders); see gate().  Completed keys are tombstoned so a
+        # straggler arriving after the last party raises instead of
+        # silently opening a fresh gate and deadlocking.
         self._gates: dict = {}
+        self._done_gates: set = set()
+
+    def reset(self) -> "Runtime":
+        """Forget all per-job coordination state, keeping the machine.
+
+        Gives the next job fresh matching engines, shared-memory
+        regions, gates (including tombstones), and a restarted
+        communicator-context counter.  The machine itself must be reset
+        separately (or use :class:`SimSession`, which does both).
+        """
+        self.transport = Transport(self.machine)
+        self._context_counter = itertools.count(1)
+        self._world_group = Group(range(self.machine.nranks), context=0)
+        self._shm_regions.clear()
+        self._gates.clear()
+        self._done_gates.clear()
+        return self
 
     def shm_region(self, node: int) -> ShmRegion:
         """The shared-memory rendezvous region of ``node``."""
@@ -64,6 +83,7 @@ class Runtime:
         """
         state = self._gates.get(key)
         if state is None:
+            self._check_not_completed(key)
             state = self._gates[key] = {"event": self.sim.event(), "arrived": 0}
         state["arrived"] += 1
         if state["arrived"] > parties:
@@ -71,6 +91,7 @@ class Runtime:
         is_last = state["arrived"] == parties
         if is_last:
             del self._gates[key]
+            self._done_gates.add(key)
         return state["event"], is_last
 
     def gate_exchange(self, key, parties: int, item):
@@ -81,14 +102,29 @@ class Runtime:
         """
         state = self._gates.get(key)
         if state is None:
+            self._check_not_completed(key)
             state = self._gates[key] = {"event": self.sim.event(), "items": []}
         state["items"].append(item)
         if len(state["items"]) > parties:
             raise MPIError(f"gate {key!r} overfilled ({len(state['items'])}/{parties})")
         if len(state["items"]) == parties:
             del self._gates[key]
+            self._done_gates.add(key)
             return state["event"], True, state["items"]
         return state["event"], False, None
+
+    def _check_not_completed(self, key) -> None:
+        """Reject a straggler arriving at an already-completed gate.
+
+        Without the tombstone the late arriver would open a *fresh* gate
+        under the same key and block forever waiting for parties that
+        already left — a silent deadlock instead of a diagnosable error.
+        """
+        if key in self._done_gates:
+            raise MPIError(
+                f"late arrival at gate {key!r}: the rendezvous already "
+                "completed (party-count mismatch between arrivers?)"
+            )
 
     def next_context(self) -> int:
         """Fresh communicator context id (deterministic)."""
@@ -138,6 +174,90 @@ class JobResult:
     def value(self, rank: int = 0) -> Any:
         """Return value of one rank."""
         return self.values[rank]
+
+
+class SimSession:
+    """A reusable Machine + Runtime pair for repeated simulations.
+
+    Constructing a :class:`~repro.machine.machine.Machine` validates the
+    config, computes the rank placement, and allocates every per-rank
+    and per-node queue (plus SHArP / fat-tree structures when
+    configured).  For sweeps — repeats, message sizes, and algorithms on
+    the *same* layout — that construction cost is pure per-sample
+    overhead.  A session pays it once; :meth:`reset` rewinds the
+    simulator clock, queue horizons, tracer, matching engines, gates,
+    and shared-memory regions while reusing the topology, cluster
+    config, and placement.
+
+    Determinism guarantee: a run on a reset session is bit-identical to
+    the same run on a freshly built machine (covered by the session
+    determinism tests), because every piece of mutable simulation state
+    is rewound to its constructed value.
+
+    >>> from repro.machine.clusters import cluster_b
+    >>> session = SimSession(cluster_b(2), nranks=4, ppn=2)
+    >>> def fn(comm):
+    ...     yield comm.sim.timeout(1e-6)
+    ...     return comm.rank
+    >>> session.run(fn).values == session.run(fn).values
+    True
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        nranks: int,
+        ppn: Optional[int] = None,
+        *,
+        trace: bool = False,
+    ):
+        self.config = config
+        self.nranks = nranks
+        self.machine = Machine(config, nranks, ppn, trace=trace)
+        self.ppn = self.machine.ppn
+        self.runtime = Runtime(self.machine)
+        self.runs = 0  #: completed jobs (overhead accounting / debugging)
+
+    @property
+    def key(self) -> tuple:
+        """Layout identity: sessions with equal keys are interchangeable."""
+        return (self.config, self.nranks, self.ppn)
+
+    def matches(
+        self, config: MachineConfig, nranks: int, ppn: Optional[int] = None
+    ) -> bool:
+        """Whether this session can serve a job with the given layout."""
+        return (
+            config == self.config
+            and nranks == self.nranks
+            and ppn in (None, self.ppn)
+        )
+
+    def reset(self, *, noise=None, timeline=None) -> Runtime:
+        """Fresh per-run state on the reused layout; returns the runtime."""
+        self.machine.reset(noise=noise, timeline=timeline)
+        return self.runtime.reset()
+
+    def run(
+        self,
+        fn: RankFn,
+        *,
+        noise=None,
+        timeline=None,
+        args: Sequence = (),
+        kwargs: Optional[dict] = None,
+    ) -> JobResult:
+        """Reset and launch ``fn`` — the session equivalent of :func:`run_job`."""
+        runtime = self.reset(noise=noise, timeline=timeline)
+        result = runtime.launch(fn, args=args, kwargs=kwargs)
+        self.runs += 1
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<SimSession {self.config.name!r} {self.nranks} ranks "
+            f"(ppn={self.ppn}), {self.runs} runs>"
+        )
 
 
 def run_job(

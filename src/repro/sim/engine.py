@@ -346,6 +346,24 @@ class Simulator:
         # runtime enables this so one failing rank reports cleanly.
         self._catch_process_errors: bool = False
 
+    def reset(self) -> None:
+        """Rewind to the pristine ``t=0`` state of a fresh simulator.
+
+        Drops every scheduled event and registered process and restarts
+        the tie-breaking sequence counter, so the next run is again a
+        pure function of its inputs: a run on a reset simulator is
+        bit-identical to the same run on a newly constructed one.
+        Objects holding their own state against this simulator (queues,
+        resources, stores) must be reset by their owners — see
+        :meth:`repro.machine.machine.Machine.reset`.
+        """
+        self.now = 0.0
+        self._heap.clear()
+        self._seq = 0
+        self._live_processes.clear()
+        self._active_process = None
+        self._catch_process_errors = False
+
     # -- factories ----------------------------------------------------------
 
     def event(self) -> Event:

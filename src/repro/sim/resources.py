@@ -68,6 +68,12 @@ class FCFSQueue:
         ev.succeed(value=done_at, delay=done_at - now)
         return ev
 
+    def reset(self) -> None:
+        """Clear the horizon and accounting (for simulator reuse)."""
+        self.busy_until = 0.0
+        self.served_time = 0.0
+        self.job_count = 0
+
     def delay_until_free(self) -> float:
         """Seconds until the server would start a job submitted now."""
         return max(0.0, self.busy_until - self.sim.now)
@@ -125,6 +131,11 @@ class Resource:
         else:
             self.in_use -= 1
 
+    def reset(self) -> None:
+        """Release all units and forget waiters (for simulator reuse)."""
+        self.in_use = 0
+        self._waiters.clear()
+
     @property
     def n_waiting(self) -> int:
         """Number of queued acquire requests."""
@@ -167,6 +178,11 @@ class Store:
         else:
             self._getters.append(ev)
         return ev
+
+    def reset(self) -> None:
+        """Drop all items and blocked getters (for simulator reuse)."""
+        self._items.clear()
+        self._getters.clear()
 
     def __len__(self) -> int:
         return len(self._items)

@@ -1,0 +1,130 @@
+"""Executors: serial/parallel equivalence, error capture, progress."""
+
+import pytest
+
+from repro.bench.executor import (
+    ParallelExecutor,
+    SerialExecutor,
+    default_executor,
+    get_executor,
+    run_point,
+)
+from repro.bench.spec import SamplePoint, SweepSpec
+from repro.errors import ReproError
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        name="tiny",
+        cluster="b",
+        nodes=2,
+        ppn=2,
+        sizes=(1024, 16384),
+        algorithms=("dpml",),
+        leader_counts=(1, 2),
+        iterations=1,
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+class TestRunPoint:
+    def test_success(self):
+        point = tiny_spec().points()[0]
+        result = run_point(point)
+        assert result.ok
+        assert result.latency > 0
+
+    def test_failure_captured_as_string(self):
+        point = SamplePoint(
+            cluster="b", nodes=2, ppn=2, algorithm="no_such_algorithm",
+            nbytes=1024,
+        )
+        result = run_point(point)
+        assert not result.ok
+        assert result.latency is None
+        assert result.error.split(":")[0].isidentifier()  # "Type: msg" shape
+        assert "\n" not in result.error  # no traceback
+
+
+class TestSerialExecutor:
+    def test_runs_all_points_in_order(self):
+        spec = tiny_spec()
+        result = SerialExecutor().run(spec)
+        assert result.ok
+        assert [r.point for r in result.results] == list(spec.points())
+        assert result.meta["executor"] == "serial"
+        assert result.meta["spec_hash"] == spec.spec_hash()
+
+    def test_one_bad_point_does_not_kill_the_sweep(self):
+        spec = tiny_spec(algorithms=("dpml", "no_such_algorithm"))
+        result = SerialExecutor().run(spec)
+        assert not result.ok
+        good = [r for r in result.results if r.ok]
+        bad = [r for r in result.results if not r.ok]
+        assert len(good) == len(bad) == len(result.results) // 2
+        assert all(r.point.algorithm == "dpml" for r in good)
+
+    def test_progress_callback_sees_every_point(self):
+        spec = tiny_spec()
+        seen = []
+        SerialExecutor().run(
+            spec, progress=lambda done, total, r: seen.append((done, total))
+        )
+        assert seen == [(i + 1, spec.n_points) for i in range(spec.n_points)]
+
+
+class TestParallelExecutor:
+    def test_matches_serial_bit_for_bit(self):
+        spec = tiny_spec()
+        serial = SerialExecutor().run(spec)
+        parallel = ParallelExecutor(2).run(spec)
+        assert serial.canonical_dict() == parallel.canonical_dict()
+        assert serial.to_json(include_meta=False) == parallel.to_json(
+            include_meta=False
+        )
+
+    def test_matches_serial_with_errors_and_noise(self):
+        spec = tiny_spec(
+            algorithms=("dpml", "no_such_algorithm"), repeats=2, sigma=0.05
+        )
+        serial = SerialExecutor().run(spec)
+        parallel = ParallelExecutor(2).run(spec)
+        assert serial.canonical_dict() == parallel.canonical_dict()
+
+    def test_more_jobs_than_points(self):
+        spec = tiny_spec(sizes=(1024,), leader_counts=(1,))
+        result = ParallelExecutor(8).run(spec)
+        assert result.ok
+        assert result.meta["jobs"] == 8
+
+    def test_progress_counts_every_point(self):
+        spec = tiny_spec()
+        seen = []
+        ParallelExecutor(2).run(
+            spec, progress=lambda done, total, r: seen.append(done)
+        )
+        assert sorted(seen) == list(range(1, spec.n_points + 1))
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ReproError, match="jobs"):
+            ParallelExecutor(0)
+
+
+class TestSelection:
+    def test_get_executor(self):
+        assert isinstance(get_executor(None), SerialExecutor)
+        assert isinstance(get_executor(1), SerialExecutor)
+        assert isinstance(get_executor(3), ParallelExecutor)
+        assert get_executor(3).jobs == 3
+
+    def test_default_executor_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_JOBS", raising=False)
+        assert isinstance(default_executor(), SerialExecutor)
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "2")
+        ex = default_executor()
+        assert isinstance(ex, ParallelExecutor)
+        assert ex.jobs == 2
+        monkeypatch.setenv("REPRO_BENCH_JOBS", "nope")
+        with pytest.raises(ReproError, match="REPRO_BENCH_JOBS"):
+            default_executor()

@@ -98,14 +98,53 @@ class TestGates:
         with pytest.raises(MPIError, match="overfilled"):
             runtime.gate("g", parties=1)
 
-    def test_completed_gate_key_is_reusable(self):
+    def test_late_arrival_at_completed_gate_rejected(self):
+        """A straggler must get a diagnosable error, not a fresh gate.
+
+        Gate keys are unique per collective call (tag allocation is
+        monotone per communicator), so a second arrival under a
+        completed key means the arrivers disagreed on the party count —
+        previously a silent deadlock.
+        """
         machine = Machine(cluster_b(2), 2, 1)
         runtime = Runtime(machine)
         ev1, last1 = runtime.gate("g", parties=1)
         assert last1
-        ev2, last2 = runtime.gate("g", parties=1)
-        assert last2
-        assert ev1 is not ev2
+        with pytest.raises(MPIError, match="late arrival"):
+            runtime.gate("g", parties=1)
+
+    def test_late_arrival_at_completed_gate_exchange_rejected(self):
+        machine = Machine(cluster_b(2), 2, 1)
+        runtime = Runtime(machine)
+        _, last, items = runtime.gate_exchange("x", 1, "a")
+        assert last and items == ["a"]
+        with pytest.raises(MPIError, match="late arrival"):
+            runtime.gate_exchange("x", 1, "b")
+
+    def test_straggler_behind_undercounted_gate_rejected(self):
+        """Regression: parties=2 completing before a third arriver.
+
+        Two ranks agree on parties=2 and complete the rendezvous; a
+        third rank arriving with the same key used to open a *new*
+        gate and wait forever.  Now it raises immediately.
+        """
+        machine = Machine(cluster_b(2), 3, 2)
+        runtime = Runtime(machine)
+        runtime.gate("g", parties=2)
+        event, is_last = runtime.gate("g", parties=2)
+        assert is_last
+        with pytest.raises(MPIError, match="late arrival"):
+            runtime.gate("g", parties=2)
+
+    def test_reset_clears_gate_tombstones(self):
+        """A reset runtime accepts keys completed by the previous job."""
+        machine = Machine(cluster_b(2), 2, 1)
+        runtime = Runtime(machine)
+        _, last = runtime.gate("g", parties=1)
+        assert last
+        runtime.reset()
+        _, last = runtime.gate("g", parties=1)
+        assert last
 
     def test_gate_exchange_collects_items(self):
         machine = Machine(cluster_b(2), 2, 1)
