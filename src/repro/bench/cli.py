@@ -21,6 +21,7 @@ Commands
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -190,7 +191,14 @@ def main(argv: list[str] | None = None) -> int:
         "--canonical", action="store_true",
         help="write 'run' JSON without volatile metadata (diff-friendly)",
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run every simulation under the invariant sanitizer "
+        "(sets REPRO_SANITIZE=1, inherited by parallel sweep workers)",
+    )
     args = parser.parse_args(argv)
+    if args.sanitize:
+        os.environ["REPRO_SANITIZE"] = "1"
 
     command = args.command.lower()
     if command == "list":

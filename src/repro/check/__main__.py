@@ -1,0 +1,6 @@
+"""``python -m repro.check`` entry point."""
+
+from repro.check.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,152 @@
+"""Command-line interface: ``python -m repro.check``.
+
+Runs the library's self-checks under the sanitizer:
+
+1. the full correctness validation matrix
+   (:func:`repro.mpi.validate.validate_all`) with ``sanitize=True``, so
+   every case is also checked for gate/shm/matcher/heap invariants;
+2. the differential oracle over every registered allreduce algorithm —
+   numeric results against numpy, simulated time against the Section 5
+   cost model for the algorithms it describes.
+
+Exit status is 0 only when every case passes and no sanitizer report
+was produced.  ``--json`` writes the structured findings
+(:class:`~repro.check.reports.SanitizerReport` records plus per-case
+oracle outcomes) for machine consumption.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+__all__ = ["main"]
+
+
+def _parse_band(text: str) -> tuple[float, float]:
+    try:
+        lo, hi = (float(part) for part in text.split(","))
+    except ValueError:
+        raise SystemExit(
+            f"--band wants 'low,high' (e.g. '0.2,15'), got {text!r}"
+        )
+    if not 0 < lo < hi:
+        raise SystemExit(f"--band needs 0 < low < high, got {text!r}")
+    return lo, hi
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-check",
+        description="Run the sanitized validation matrix and the "
+        "differential oracle (numpy + cost model).",
+    )
+    parser.add_argument(
+        "--skip-validate", action="store_true",
+        help="skip the sanitized correctness validation matrix",
+    )
+    parser.add_argument(
+        "--skip-oracle", action="store_true",
+        help="skip the differential-oracle allreduce grid",
+    )
+    parser.add_argument(
+        "--counts", default="1,13,64,4096",
+        help="comma-separated element counts for the oracle grid",
+    )
+    parser.add_argument(
+        "--band", default=None, metavar="LOW,HIGH",
+        help="acceptance band on simulated/predicted time "
+        "(default: oracle DEFAULT_BAND)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="input data seed")
+    parser.add_argument(
+        "--json", default=None, metavar="PATH",
+        help="write the structured findings to PATH",
+    )
+    parser.add_argument(
+        "--verbose", action="store_true", help="print every case, not a summary"
+    )
+    args = parser.parse_args(argv)
+
+    from repro.check.oracle import DEFAULT_BAND, check_allreduce
+    from repro.check.sanitizer import Sanitizer
+    from repro.mpi.collectives.registry import available_algorithms
+    from repro.mpi.validate import DEFAULT_LAYOUTS, _config_for, validate_all
+
+    band = _parse_band(args.band) if args.band else DEFAULT_BAND
+    try:
+        counts = tuple(int(c) for c in args.counts.split(","))
+    except ValueError:
+        raise SystemExit(
+            f"--counts wants comma-separated integers, got {args.counts!r}"
+        )
+
+    failures = 0
+    findings: dict = {"validate": None, "oracle": []}
+    t0 = time.time()
+
+    if not args.skip_validate:
+        print("== sanitized validation matrix ==", file=sys.stderr)
+        report = validate_all(sanitize=True, verbose=args.verbose)
+        print(f"validate: {report.summary()}")
+        findings["validate"] = {
+            "passed": report.passed,
+            "failed": report.failed,
+            "skipped": report.skipped,
+        }
+        failures += len(report.failed)
+
+    if not args.skip_oracle:
+        print("== differential oracle ==", file=sys.stderr)
+        sanitizer = Sanitizer(strict=False)
+        checked = divergent = 0
+        for algorithm in available_algorithms():
+            for nranks, ppn, nodes in DEFAULT_LAYOUTS:
+                for count in counts:
+                    outcome = check_allreduce(
+                        _config_for("allreduce", algorithm),
+                        algorithm,
+                        nranks=nranks,
+                        ppn=ppn,
+                        count=count,
+                        seed=args.seed,
+                        band=band,
+                        sanitizer=sanitizer,
+                    )
+                    checked += 1
+                    if not outcome.ok:
+                        divergent += 1
+                    if args.verbose or not outcome.ok:
+                        status = "ok" if outcome.ok else "FAIL"
+                        ratio = (
+                            f" ratio={outcome.ratio:.3g}"
+                            if outcome.ratio is not None
+                            else ""
+                        )
+                        print(
+                            f"  {status} {algorithm} p={nranks} ppn={ppn} "
+                            f"n={count}{ratio}",
+                            file=sys.stderr,
+                        )
+                    findings["oracle"].append(outcome.to_dict())
+        print(
+            f"oracle: {checked} runs, {divergent} divergent, "
+            f"{len(sanitizer.reports)} sanitizer report(s)"
+        )
+        for report_ in sanitizer.reports:
+            print(f"  {report_}", file=sys.stderr)
+        failures += len(sanitizer.reports)
+
+    print(f"[repro.check finished in {time.time() - t0:.1f}s wall]")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(findings, fh, indent=2, default=str)
+            fh.write("\n")
+        print(f"wrote {args.json}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,181 @@
+"""Differential oracle: simulation vs. numpy and the analytical model.
+
+Every sanitized collective run is cross-checked two ways:
+
+* **numeric** — the per-rank results of a real-data allreduce are
+  compared element-wise against the numpy reference
+  (``op.reduce_stack`` over the same inputs), so a protocol bug that
+  still terminates cleanly cannot smuggle a wrong answer past the
+  structural invariants;
+* **cost** — the simulated completion time is compared against the
+  Section 5 closed-form model (:class:`~repro.core.model.CostModel`)
+  for the algorithms the model describes.  Simulation and model
+  deliberately disagree in the details (the simulator charges NIC
+  pipelining, unexpected-message copies, rendezvous handshakes the
+  equations fold into single constants), so the check is a *band* on
+  the simulated/predicted ratio, not equality: a run outside the band
+  means one of the two sides regressed.
+
+Violations are recorded on the run's sanitizer as structured
+:class:`~repro.check.reports.SanitizerReport` records
+(``numeric-mismatch`` / ``cost-model-divergence``) and summarised in the
+returned :class:`OracleOutcome`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.check import reports as R
+from repro.check.sanitizer import Sanitizer
+from repro.core.model import CostModel
+from repro.machine.config import MachineConfig
+from repro.mpi.runtime import run_job
+from repro.payload.ops import SUM, ReduceOp
+from repro.payload.payload import DataPayload
+
+__all__ = ["OracleOutcome", "DEFAULT_BAND", "check_allreduce", "predictable"]
+
+#: Default acceptance band on simulated_time / predicted_time.  The
+#: measured ratios across the calibration grid (4 predictable
+#: algorithms x 7 layouts x 5 sizes) span 0.53-7.14 with median 1.47,
+#: so the band flags order-of-magnitude divergence — a lost factor of
+#: p, bytes-vs-elements confusion, a dropped phase — not
+#: constant-factor modelling slack.  See docs/sanitizer.md.
+DEFAULT_BAND: tuple[float, float] = (0.2, 15.0)
+
+#: Algorithms the Section 5 model describes (everything else skips the
+#: cost check; see :meth:`CostModel.predict_allreduce`).
+predictable = ("recursive_doubling", "hierarchical", "dpml", "dpml_pipelined")
+
+
+@dataclass
+class OracleOutcome:
+    """Result of one differential-oracle run."""
+
+    algorithm: str
+    nranks: int
+    ppn: int
+    count: int
+    elapsed: float  #: simulated completion time (seconds)
+    predicted: Optional[float]  #: model prediction, None when undescribed
+    ratio: Optional[float]  #: elapsed / predicted
+    reports: list = field(default_factory=list)  #: sanitizer reports
+
+    @property
+    def ok(self) -> bool:
+        """True when both the numeric and the cost check passed."""
+        return not self.reports
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "nranks": self.nranks,
+            "ppn": self.ppn,
+            "count": self.count,
+            "elapsed": self.elapsed,
+            "predicted": self.predicted,
+            "ratio": self.ratio,
+            "ok": self.ok,
+            "reports": [r.to_dict() for r in self.reports],
+        }
+
+
+def check_allreduce(
+    config: MachineConfig,
+    algorithm: str,
+    *,
+    nranks: int,
+    ppn: int,
+    count: int,
+    op: ReduceOp = SUM,
+    leaders: Optional[int] = None,
+    seed: int = 0,
+    band: tuple[float, float] = DEFAULT_BAND,
+    sanitizer: Optional[Sanitizer] = None,
+) -> OracleOutcome:
+    """Run one sanitized allreduce and cross-check it both ways.
+
+    ``sanitizer`` defaults to a fresh ``strict=False`` collector so the
+    outcome carries every finding instead of raising at the first; pass
+    a shared instance to accumulate findings across a grid.
+    """
+    sanitizer = sanitizer if sanitizer is not None else Sanitizer(strict=False)
+    n_before = len(sanitizer.reports)
+    rng = np.random.default_rng(seed)
+    inputs = [
+        rng.integers(1, 9, count).astype(np.float64) for _ in range(nranks)
+    ]
+    kwargs = {"algorithm": algorithm}
+    if leaders is not None:
+        kwargs["leaders"] = leaders
+
+    def fn(comm):
+        me = DataPayload(inputs[comm.rank].copy())
+        out = yield from comm.allreduce(me, op, **kwargs)
+        return out.array
+
+    job = run_job(config, nranks, fn, ppn=ppn, sanitize=sanitizer)
+
+    # -- numeric differential ------------------------------------------------
+    expected = op.reduce_stack(inputs)
+    for rank, got in enumerate(job.values):
+        if got is None or not np.array_equal(got, expected):
+            sanitizer.record(
+                R.NUMERIC_MISMATCH,
+                f"{algorithm} allreduce p={nranks} ppn={ppn} n={count}: "
+                f"rank {rank} disagrees with the numpy reference",
+                time=job.elapsed,
+                algorithm=algorithm,
+                rank=rank,
+                nranks=nranks,
+                ppn=ppn,
+                count=count,
+            )
+            break  # one report per run is enough to localise
+
+    # -- cost differential ---------------------------------------------------
+    predicted = ratio = None
+    nodes = job.machine.placement.nodes_used
+    if op is SUM and nranks == nodes * ppn:
+        # Partial last nodes fall outside the homogeneous p = h * ppn
+        # model; MAX runs share the timing of SUM, so checking SUM only
+        # avoids double-counting.
+        nbytes = count * 8  # float64 payloads
+        model = CostModel.from_machine(config, nbytes)
+        predicted = model.predict_allreduce(
+            algorithm, p=nranks, h=nodes, n=nbytes, l=leaders
+        )
+        if predicted is not None and predicted > 0 and job.elapsed > 0:
+            ratio = job.elapsed / predicted
+            lo, hi = band
+            if not (lo <= ratio <= hi):
+                sanitizer.record(
+                    R.COST_DIVERGENCE,
+                    f"{algorithm} allreduce p={nranks} ppn={ppn} n={count}: "
+                    f"simulated {job.elapsed:.3e}s vs predicted "
+                    f"{predicted:.3e}s (ratio {ratio:.3g} outside "
+                    f"[{lo:g}, {hi:g}])",
+                    time=job.elapsed,
+                    algorithm=algorithm,
+                    nranks=nranks,
+                    ppn=ppn,
+                    count=count,
+                    elapsed=job.elapsed,
+                    predicted=predicted,
+                    ratio=ratio,
+                )
+
+    return OracleOutcome(
+        algorithm=algorithm,
+        nranks=nranks,
+        ppn=ppn,
+        count=count,
+        elapsed=job.elapsed,
+        predicted=predicted,
+        ratio=ratio,
+        reports=sanitizer.reports[n_before:],
+    )

@@ -28,7 +28,7 @@ from typing import Generator, Optional
 
 from repro.core.leaders import get_leader_plan
 from repro.payload.ops import ReduceOp
-from repro.payload.payload import Payload, concat, reduce_payloads
+from repro.payload.payload import Payload, concat, reduce_payloads, split_bounds
 
 __all__ = ["allreduce_dpml", "allreduce_hierarchical"]
 
@@ -64,15 +64,23 @@ def allreduce_dpml(
     region = comm.runtime.shm_region(plan.node)
     ctx = comm.group.context
     parts = payload.split(ell)
+    bounds = split_bounds(payload.count, ell)
+    total = payload.count
     my_loc = machine.loc(me)
     ppn = plan.ppn
 
     # --- Phase 1: deposit each partition into its leader's staging area.
+    # Span annotations let the sanitizer check that the l partitions of
+    # one depositor tile the vector without gaps or overlap.
     for j in range(ell):
         leader_world = comm.translate(plan.node_ranks[j])
         cross = machine.loc(leader_world).socket != my_loc.socket
         yield from machine.shm_copy(me, parts[j].nbytes, cross_socket=cross)
-        region.put((ctx, tag_base, "in", j, plan.local_index), parts[j])
+        region.put(
+            (ctx, tag_base, "in", j, plan.local_index),
+            parts[j],
+            span=((ctx, tag_base, "in", plan.local_index), *bounds[j], total),
+        )
 
     if plan.is_leader:
         j = plan.leader_index
@@ -92,8 +100,15 @@ def allreduce_dpml(
             reduced, op, algorithm=inter_algorithm or "flat_auto"
         )
 
-        # Publish the fully reduced partition for the local ranks.
-        region.put((ctx, tag_base, "out", j), result_j)
+        # Publish the fully reduced partition for the local ranks.  The
+        # leaders' partitions share one frame: together they must tile
+        # the result vector, so a leader publishing the wrong slice (or
+        # a wrong-length sub-allreduce result) trips the sanitizer.
+        region.put(
+            (ctx, tag_base, "out", j),
+            result_j,
+            span=((ctx, tag_base, "out"), *bounds[j], total),
+        )
 
     # --- Phase 4: copy every partition back out and reassemble.
     yield from machine.flag_sync()

@@ -112,6 +112,42 @@ class CostModel:
         )
         return self.t_copy(l, n) + self.t_comp(p, h, l, n) + comm + self.t_bcast(l, n)
 
+    def predict_allreduce(
+        self,
+        algorithm: str,
+        *,
+        p: int,
+        h: int,
+        n: int,
+        l: "int | None" = None,
+        k: int = 1,
+    ) -> "float | None":
+        """Predicted allreduce time for a registry algorithm, or None.
+
+        Maps registry algorithm names onto the closed-form equations:
+        ``recursive_doubling`` uses Eq. 1, the ``hierarchical``
+        single-leader scheme is DPML with ``l = 1``, and ``dpml`` /
+        ``dpml_pipelined`` use Eq. 7 with the given (or its default)
+        leader count clamped to ``p // h``.  Algorithms the model does
+        not describe (ring, SHArP offload, socket-aware multilevel,
+        reduce+bcast compositions, the library selectors) return None —
+        the differential oracle skips the cost check for those.
+        """
+        ppn = p // h
+        if algorithm == "recursive_doubling":
+            return self.t_recursive_doubling(p, n)
+        if algorithm == "hierarchical":
+            l = 1
+        elif algorithm in ("dpml", "dpml_pipelined"):
+            l = min(l if l is not None else 4, ppn)
+        else:
+            return None
+        if h >= p:
+            # One rank per node: the intra-node phases degenerate and
+            # the implementations fall back to a flat inter-node run.
+            return self.t_recursive_doubling(p, n)
+        return self.t_dpml(p, h, l, n, k)
+
     def best_leader_count(
         self, p: int, h: int, n: int, candidates=(1, 2, 4, 8, 16)
     ) -> int:

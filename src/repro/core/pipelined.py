@@ -20,7 +20,7 @@ from typing import Generator, Optional
 
 from repro.core.leaders import get_leader_plan
 from repro.payload.ops import ReduceOp
-from repro.payload.payload import Payload, concat, reduce_payloads
+from repro.payload.payload import Payload, concat, reduce_payloads, split_bounds
 
 __all__ = ["allreduce_dpml_pipelined", "pipeline_depth"]
 
@@ -70,15 +70,22 @@ def allreduce_dpml_pipelined(
     region = comm.runtime.shm_region(plan.node)
     ctx = comm.group.context
     parts = payload.split(ell)
+    bounds = split_bounds(payload.count, ell)
+    total = payload.count
     my_loc = machine.loc(me)
     ppn = plan.ppn
 
-    # Phases 1-2 are identical to plain DPML.
+    # Phases 1-2 are identical to plain DPML (including the sanitizer
+    # span annotations on the staged partitions).
     for j in range(ell):
         leader_world = comm.translate(plan.node_ranks[j])
         cross = machine.loc(leader_world).socket != my_loc.socket
         yield from machine.shm_copy(me, parts[j].nbytes, cross_socket=cross)
-        region.put((ctx, tag_base, "in", j, plan.local_index), parts[j])
+        region.put(
+            (ctx, tag_base, "in", j, plan.local_index),
+            parts[j],
+            span=((ctx, tag_base, "in", plan.local_index), *bounds[j], total),
+        )
 
     if plan.is_leader:
         j = plan.leader_index
@@ -99,7 +106,11 @@ def allreduce_dpml_pipelined(
             plan.leader_comm.iallreduce(sub, op, algorithm=inter) for sub in subs
         ]
         results = yield from plan.leader_comm.waitall(requests)
-        region.put((ctx, tag_base, "out", j), concat(results))
+        region.put(
+            (ctx, tag_base, "out", j),
+            concat(results),
+            span=((ctx, tag_base, "out"), *bounds[j], total),
+        )
 
     # Phase 4: identical to plain DPML.
     yield from machine.flag_sync()

@@ -22,12 +22,20 @@ class DeadlockError(SimulationError):
 
     This is the simulated equivalent of an MPI job hanging: some rank is
     waiting for a message or a shared-memory flag that nobody will ever
-    produce.  The ``blocked`` attribute lists the stuck processes.
+    produce.  The ``blocked`` attribute lists the stuck processes; when
+    the run was sanitized (:mod:`repro.check`), ``wait_graph`` maps each
+    blocked process to a description of what it was waiting on.
     """
 
-    def __init__(self, message: str, blocked: list | None = None):
+    def __init__(
+        self,
+        message: str,
+        blocked: list | None = None,
+        wait_graph: dict | None = None,
+    ):
         super().__init__(message)
         self.blocked = list(blocked or [])
+        self.wait_graph = dict(wait_graph or {})
 
 
 class InterruptError(SimulationError):
@@ -55,3 +63,16 @@ class ConfigError(ReproError):
 class TuningError(ReproError):
     """The tuning layer was asked for an unknown algorithm or an
     impossible configuration."""
+
+
+class SanitizerError(ReproError):
+    """A sanitized run finished with invariant violations.
+
+    Raised by :meth:`repro.check.sanitizer.Sanitizer.finalize` in strict
+    mode; ``reports`` carries the structured
+    :class:`~repro.check.reports.SanitizerReport` records.
+    """
+
+    def __init__(self, message: str, reports: list | None = None):
+        super().__init__(message)
+        self.reports = list(reports or [])

@@ -104,12 +104,19 @@ class PostedRecv:
 
 
 class Matcher:
-    """Matching engine of one rank."""
+    """Matching engine of one rank.
 
-    __slots__ = ("rank", "_posted", "_unexpected", "_next_seq", "_ooo")
+    ``sanitizer`` (a :class:`repro.check.sanitizer.Sanitizer`, optional)
+    receives structured reports for protocol violations before the
+    corresponding :class:`~repro.errors.MPIError` is raised, and is fed
+    the leak summary at job finalize.
+    """
 
-    def __init__(self, rank: int):
+    __slots__ = ("rank", "_posted", "_unexpected", "_next_seq", "_ooo", "sanitizer")
+
+    def __init__(self, rank: int, sanitizer=None):
         self.rank = rank
+        self.sanitizer = sanitizer
         self._posted: deque[PostedRecv] = deque()
         self._unexpected: deque[Envelope] = deque()
         # Per-sender sequence bookkeeping for non-overtaking admission.
@@ -121,10 +128,30 @@ class Matcher:
     def arrive(self, env: Envelope) -> None:
         """Deliver a (possibly out-of-order) envelope from the wire."""
         if env.dst != self.rank:
+            if self.sanitizer is not None:
+                from repro.check.reports import MATCHER_MISROUTE
+
+                self.sanitizer.record(
+                    MATCHER_MISROUTE,
+                    f"envelope for rank {env.dst} delivered to {self.rank}",
+                    rank=self.rank,
+                    envelope=repr(env),
+                )
             raise MPIError(f"envelope for rank {env.dst} delivered to {self.rank}")
         expected = self._next_seq.get(env.src, 0)
         if env.seq != expected:
             if env.seq < expected:
+                if self.sanitizer is not None:
+                    from repro.check.reports import MATCHER_SEQ
+
+                    self.sanitizer.record(
+                        MATCHER_SEQ,
+                        f"duplicate sequence number {env.seq} from rank "
+                        f"{env.src} at rank {self.rank} (expected {expected})",
+                        rank=self.rank,
+                        envelope=repr(env),
+                        expected_seq=expected,
+                    )
                 raise MPIError(f"duplicate sequence number on {env!r}")
             self._ooo.setdefault(env.src, {})[env.seq] = env
             return
@@ -178,6 +205,40 @@ class Matcher:
     def n_unexpected(self) -> int:
         """Buffered messages nobody has asked for yet."""
         return len(self._unexpected)
+
+    def leak_summary(self) -> dict:
+        """Unmatched state left in this matcher (empty dict when clean).
+
+        Used by the sanitizer at finalize (leaked nonblocking
+        receives/sends) and to enrich deadlock reports with what each
+        rank was still waiting to match.
+        """
+        n_ooo = sum(len(stash) for stash in self._ooo.values())
+        if not (self._posted or self._unexpected or n_ooo):
+            return {}
+        summary: dict = {
+            "n_posted": len(self._posted),
+            "n_unexpected": len(self._unexpected),
+        }
+        if self._posted:
+            summary["posted"] = [
+                {"src": p.src, "tag": p.tag, "context": p.context}
+                for p in list(self._posted)[:16]
+            ]
+        if self._unexpected:
+            summary["unexpected"] = [
+                {
+                    "src": e.src,
+                    "tag": e.tag,
+                    "context": e.context,
+                    "kind": e.kind,
+                    "seq": e.seq,
+                }
+                for e in list(self._unexpected)[:16]
+            ]
+        if n_ooo:
+            summary["n_out_of_order"] = n_ooo
+        return summary
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

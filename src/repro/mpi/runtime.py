@@ -20,7 +20,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional, Sequence, Union
 
-from repro.errors import MPIError
+from repro.errors import DeadlockError, MPIError
 from repro.machine.config import MachineConfig
 from repro.machine.machine import Machine
 from repro.mpi.comm import Comm, Group
@@ -71,7 +71,9 @@ class Runtime:
         """The shared-memory rendezvous region of ``node``."""
         region = self._shm_regions.get(node)
         if region is None:
-            region = self._shm_regions[node] = ShmRegion(self.sim)
+            region = self._shm_regions[node] = ShmRegion(
+                self.sim, name=f"node{node}"
+            )
         return region
 
     def gate(self, key, parties: int):
@@ -84,9 +86,22 @@ class Runtime:
         state = self._gates.get(key)
         if state is None:
             self._check_not_completed(key)
-            state = self._gates[key] = {"event": self.sim.event(), "arrived": 0}
+            state = self._gates[key] = {
+                "event": self.sim.event(),
+                "arrived": 0,
+                "parties": parties,
+            }
+        else:
+            self._check_parties(key, state, parties)
         state["arrived"] += 1
         if state["arrived"] > parties:
+            self._record_gate(
+                "overfill",
+                key,
+                f"gate {key!r} overfilled ({state['arrived']}/{parties})",
+                arrived=state["arrived"],
+                parties=parties,
+            )
             raise MPIError(f"gate {key!r} overfilled ({state['arrived']}/{parties})")
         is_last = state["arrived"] == parties
         if is_last:
@@ -103,9 +118,22 @@ class Runtime:
         state = self._gates.get(key)
         if state is None:
             self._check_not_completed(key)
-            state = self._gates[key] = {"event": self.sim.event(), "items": []}
+            state = self._gates[key] = {
+                "event": self.sim.event(),
+                "items": [],
+                "parties": parties,
+            }
+        else:
+            self._check_parties(key, state, parties)
         state["items"].append(item)
         if len(state["items"]) > parties:
+            self._record_gate(
+                "overfill",
+                key,
+                f"gate {key!r} overfilled ({len(state['items'])}/{parties})",
+                arrived=len(state["items"]),
+                parties=parties,
+            )
             raise MPIError(f"gate {key!r} overfilled ({len(state['items'])}/{parties})")
         if len(state["items"]) == parties:
             del self._gates[key]
@@ -121,10 +149,53 @@ class Runtime:
         already left — a silent deadlock instead of a diagnosable error.
         """
         if key in self._done_gates:
+            self._record_gate(
+                "reopen",
+                key,
+                f"late arrival at gate {key!r}: the rendezvous already "
+                "completed",
+            )
             raise MPIError(
                 f"late arrival at gate {key!r}: the rendezvous already "
                 "completed (party-count mismatch between arrivers?)"
             )
+
+    def _check_parties(self, key, state: dict, parties: int) -> None:
+        """Flag arrivers that disagree about the gate's party count.
+
+        Disagreement is a protocol bug (the gate either overfills or
+        hangs, depending on which arriver is wrong) but its *symptom*
+        appears far from the cause — so on sanitized runs it is caught
+        and raised at the first disagreeing arrival instead.
+        """
+        if state["parties"] == parties:
+            return
+        report = self._record_gate(
+            "party-mismatch",
+            key,
+            f"gate {key!r} opened for {state['parties']} parties, but an "
+            f"arriver expects {parties}",
+            opened_for=state["parties"],
+            expects=parties,
+        )
+        if report is not None:
+            raise MPIError(str(report))
+
+    def _record_gate(self, what: str, key, message: str, **details):
+        """Record a gate lifecycle violation when the run is sanitized."""
+        sanitizer = getattr(self.sim, "sanitizer", None)
+        if sanitizer is None:
+            return None
+        from repro.check import reports as R
+
+        kind = {
+            "reopen": R.GATE_REOPEN,
+            "overfill": R.GATE_OVERFILL,
+            "party-mismatch": R.GATE_PARTY_MISMATCH,
+        }[what]
+        return sanitizer.record(
+            kind, message, time=self.sim.now, key=repr(key), **details
+        )
 
     def next_context(self) -> int:
         """Fresh communicator context id (deterministic)."""
@@ -153,12 +224,25 @@ class Runtime:
                     "generator (use 'yield from comm....' inside it)"
                 )
             procs.append(self.sim.process(gen, name=f"rank{rank}"))
-        self.sim.run()
+        sanitizer = getattr(self.sim, "sanitizer", None)
+        if sanitizer is not None:
+            sanitizer.begin_run()
+        try:
+            self.sim.run()
+        except DeadlockError as err:
+            if sanitizer is not None:
+                sanitizer.enrich_deadlock(self, err)
+            raise
+        reports: list = []
+        if sanitizer is not None:
+            sanitizer.finalize(self)  # strict mode raises on any report
+            reports = list(sanitizer.reports)
         return JobResult(
             values=[p.value for p in procs],
             elapsed=self.sim.now,
             machine=self.machine,
             tracer=self.machine.tracer,
+            reports=reports,
         )
 
 
@@ -170,6 +254,9 @@ class JobResult:
     elapsed: float  #: simulated seconds until the last rank finished
     machine: Machine = field(repr=False)
     tracer: Tracer = field(repr=False)
+    #: sanitizer reports collected during the run (empty when the job
+    #: was not sanitized, or was sanitized and came back clean)
+    reports: list = field(default_factory=list, repr=False)
 
     def value(self, rank: int = 0) -> Any:
         """Return value of one rank."""
@@ -210,10 +297,13 @@ class SimSession:
         ppn: Optional[int] = None,
         *,
         trace: bool = False,
+        sanitize: Union[bool, Any, None] = None,
     ):
         self.config = config
         self.nranks = nranks
-        self.machine = Machine(config, nranks, ppn, trace=trace)
+        self.machine = Machine(
+            config, nranks, ppn, sim=Simulator(sanitize=sanitize), trace=trace
+        )
         self.ppn = self.machine.ppn
         self.runtime = Runtime(self.machine)
         self.runs = 0  #: completed jobs (overhead accounting / debugging)
@@ -268,17 +358,35 @@ def run_job(
     ppn: Optional[int] = None,
     trace: bool = False,
     sim: Optional[Simulator] = None,
+    sanitize: Union[bool, Any, None] = None,
     args: Sequence = (),
     kwargs: Optional[dict] = None,
 ) -> JobResult:
-    """Build a machine (if needed), launch ``fn`` on ``nranks``, run to end."""
+    """Build a machine (if needed), launch ``fn`` on ``nranks``, run to end.
+
+    ``sanitize`` enables the invariant sanitizer for this job: ``True``
+    for a fresh strict :class:`~repro.check.sanitizer.Sanitizer`, a
+    :class:`~repro.check.sanitizer.Sanitizer` instance to keep a handle
+    on the reports, ``False`` to force it off, and ``None`` (default) to
+    consult the ``REPRO_SANITIZE`` environment variable.
+    """
     if isinstance(config_or_machine, Machine):
         machine = config_or_machine
         if machine.nranks != nranks:
             raise MPIError(
                 f"machine was built for {machine.nranks} ranks, job wants {nranks}"
             )
+        if sanitize is not None:
+            from repro.check.sanitizer import as_sanitizer
+
+            machine.sim.sanitizer = as_sanitizer(sanitize)
     else:
+        if sim is None:
+            sim = Simulator(sanitize=sanitize)
+        elif sanitize is not None:
+            from repro.check.sanitizer import as_sanitizer
+
+            sim.sanitizer = as_sanitizer(sanitize)
         machine = Machine(config_or_machine, nranks, ppn, sim=sim, trace=trace)
     runtime = Runtime(machine)
     return runtime.launch(fn, args=args, kwargs=kwargs)

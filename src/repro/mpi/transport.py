@@ -49,7 +49,10 @@ class Transport:
     def __init__(self, machine: Machine):
         self.machine = machine
         self.sim = machine.sim
-        self.matchers = [Matcher(r) for r in range(machine.nranks)]
+        self.matchers = [
+            Matcher(r, sanitizer=machine.sim.sanitizer)
+            for r in range(machine.nranks)
+        ]
         self._seq: dict[tuple[int, int], int] = {}
 
     # -- public API (called by Comm) -------------------------------------------

@@ -70,7 +70,7 @@ def _config_for(kind: str, algorithm: str) -> MachineConfig:
     return cluster_b(4)
 
 
-def _run_case(kind, algorithm, layout, count, op, rng) -> Optional[str]:
+def _run_case(kind, algorithm, layout, count, op, rng, sanitize=None) -> Optional[str]:
     """Run one case; returns an error string or None."""
     nranks, ppn, nodes = layout
     config = _config_for(kind, algorithm)
@@ -118,7 +118,7 @@ def _run_case(kind, algorithm, layout, count, op, rng) -> Optional[str]:
         raise AssertionError(f"unhandled kind {kind}")
 
     try:
-        job = run_job(config, nranks, fn, ppn=ppn)
+        job = run_job(config, nranks, fn, ppn=ppn, sanitize=sanitize)
     except Exception as exc:  # noqa: BLE001 - report, don't crash the sweep
         return f"raised {type(exc).__name__}: {exc}"
 
@@ -162,8 +162,17 @@ def validate_all(
     counts: Sequence[int] = DEFAULT_COUNTS,
     seed: int = 0,
     verbose: bool = False,
+    sanitize=None,
 ) -> ValidationReport:
-    """Run the full matrix; returns a :class:`ValidationReport`."""
+    """Run the full matrix; returns a :class:`ValidationReport`.
+
+    ``sanitize`` is forwarded to :func:`~repro.mpi.runtime.run_job` for
+    every case: ``True`` (or a
+    :class:`~repro.check.sanitizer.Sanitizer`) runs the whole matrix
+    under the invariant sanitizer, ``None`` defers to the
+    ``REPRO_SANITIZE`` environment variable.  Sanitizer findings
+    surface as case failures (the strict sanitizer raises).
+    """
     report = ValidationReport()
     rng = np.random.default_rng(seed)
     all_kinds = kinds or [
@@ -179,7 +188,9 @@ def validate_all(
                     ops = (SUM, MAX) if kind in reducing else (None,)
                     for op in ops:
                         case = _case_id(kind, algorithm, layout, count, op)
-                        error = _run_case(kind, algorithm, layout, count, op, rng)
+                        error = _run_case(
+                            kind, algorithm, layout, count, op, rng, sanitize
+                        )
                         if error is None:
                             report.passed += 1
                             if verbose:

@@ -19,12 +19,22 @@ Deadlock detection
 the event heap drains while processes are still alive and blocked.  This
 is the simulated analogue of an MPI job hanging on an unmatched receive,
 and it turns subtle collective-algorithm bugs into crisp test failures.
+
+Sanitizing
+----------
+``Simulator(sanitize=True)`` (or the ``REPRO_SANITIZE=1`` environment
+variable, consulted by every constructor) installs a
+:class:`~repro.check.sanitizer.Sanitizer` on ``self.sanitizer``.  The
+kernel then checks event-time monotonicity on every step and hands the
+sanitizer the blocked-process wait graph when a deadlock is detected;
+the MPI layers above feed the same sanitizer their own invariants (see
+:mod:`repro.check`).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, Iterable, Optional
+from typing import Any, Callable, Generator, Iterable, Optional, Union
 
 from repro.errors import DeadlockError, InterruptError, SimulationError
 
@@ -335,7 +345,7 @@ class Simulator:
     3.0
     """
 
-    def __init__(self) -> None:
+    def __init__(self, sanitize: Union[bool, Any, None] = None) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
         self._seq: int = 0
@@ -345,6 +355,16 @@ class Simulator:
         # the Process event instead of propagating out of run().  The MPI
         # runtime enables this so one failing rank reports cleanly.
         self._catch_process_errors: bool = False
+        # ``sanitize`` is tri-state: None consults REPRO_SANITIZE, a
+        # bool forces it, and a Sanitizer instance is installed as-is
+        # (lazy import: repro.check sits above the kernel in the
+        # layering and must not be a hard dependency of it).
+        if sanitize is None or sanitize is True or sanitize is False:
+            from repro.check.sanitizer import as_sanitizer
+
+            self.sanitizer = as_sanitizer(sanitize)
+        else:
+            self.sanitizer = sanitize
 
     def reset(self) -> None:
         """Rewind to the pristine ``t=0`` state of a fresh simulator.
@@ -363,6 +383,8 @@ class Simulator:
         self._live_processes.clear()
         self._active_process = None
         self._catch_process_errors = False
+        if self.sanitizer is not None:
+            self.sanitizer.reset()
 
     # -- factories ----------------------------------------------------------
 
@@ -401,6 +423,12 @@ class Simulator:
     def step(self) -> None:
         """Process the single next event."""
         when, _, event = heapq.heappop(self._heap)
+        if self.sanitizer is not None and when < self.now:
+            self.sanitizer.heap_regression(self.now, when, event)
+            raise SimulationError(
+                f"event-time regression: next event at t={when} but the "
+                f"clock already reached t={self.now}"
+            )
         self.now = when
         event._process()
 
@@ -418,12 +446,18 @@ class Simulator:
             self.step()
         if self._live_processes:
             blocked = sorted(p.name for p in self._live_processes)
+            wait_graph = (
+                self.sanitizer.on_deadlock(self)
+                if self.sanitizer is not None
+                else None
+            )
             preview = ", ".join(blocked[:8])
             more = "" if len(blocked) <= 8 else f" (+{len(blocked) - 8} more)"
             raise DeadlockError(
                 f"simulation deadlocked at t={self.now}: "
                 f"{len(blocked)} process(es) still blocked: {preview}{more}",
                 blocked=blocked,
+                wait_graph=wait_graph,
             )
 
     def peek(self) -> float:

@@ -57,6 +57,10 @@ class FCFSQueue:
     def submit(self, service: float) -> Event:
         """Enqueue a job needing ``service`` seconds; returns its completion event."""
         if service < 0:
+            _report_misuse(
+                self.sim, f"negative service time {service} on {self.name}",
+                resource=self.name, service=service,
+            )
             raise SimulationError(f"negative service time {service} on {self.name}")
         now = self.sim.now
         start = self.busy_until if self.busy_until > now else now
@@ -124,6 +128,10 @@ class Resource:
     def release(self) -> None:
         """Return one unit; hands it to the oldest waiter if any."""
         if self.in_use <= 0:
+            _report_misuse(
+                self.sim, f"release() without acquire() on {self.name}",
+                resource=self.name,
+            )
             raise SimulationError(f"release() without acquire() on {self.name}")
         if self._waiters:
             # Ownership passes directly; in_use stays constant.
@@ -184,8 +192,22 @@ class Store:
         self._items.clear()
         self._getters.clear()
 
+    @property
+    def n_waiting(self) -> int:
+        """Number of blocked getters (quiescence introspection)."""
+        return len(self._getters)
+
     def __len__(self) -> int:
         return len(self._items)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Store {self.name!r} items={len(self._items)}>"
+
+
+def _report_misuse(sim: Simulator, message: str, **details) -> None:
+    """Record a resource-misuse report when the simulation is sanitized."""
+    sanitizer = getattr(sim, "sanitizer", None)
+    if sanitizer is not None:
+        from repro.check.reports import RESOURCE_MISUSE
+
+        sanitizer.record(RESOURCE_MISUSE, message, time=sim.now, **details)

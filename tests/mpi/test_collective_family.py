@@ -18,8 +18,7 @@ def _inputs(nranks, count, seed=0):
     return [rng.integers(1, 9, count).astype(np.float64) for _ in range(nranks)]
 
 
-LAYOUTS = [(8, 4, 2), (9, 3, 3), (5, 2, 3), (2, 1, 2), (1, 1, 1)]
-# (nranks, ppn, nodes)
+from tests.conftest import FAMILY_LAYOUTS as LAYOUTS  # (nranks, ppn, nodes)
 
 
 class TestReduce:

@@ -92,6 +92,15 @@ class TestShmRegion:
         sim.run()
         assert order == [0, 1, 2]
 
+    @pytest.mark.parametrize("readers", [0, -1])
+    def test_read_rejects_nonpositive_fanout(self, region, readers):
+        """Regression: ``read(key, 0)`` used to register a reader whose
+        countdown started below one, leaving the value stuck in the
+        region forever instead of failing at the call site."""
+        region.put("k", "v")
+        with pytest.raises(MPIError, match="fan-out must be >= 1"):
+            region.read("k", readers=readers)
+
     def test_distinct_keys_do_not_interfere(self, region):
         sim = region.sim
         region.put(("a", 1), "first")

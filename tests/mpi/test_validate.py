@@ -24,6 +24,14 @@ class TestValidationMatrix:
         assert report.summary() == "3 passed, 1 failed, 0 skipped"
         assert not report.ok
 
+    def test_conftest_grid_single_sources_validate(self):
+        # The shared test grid re-exports the validation module's
+        # layouts — the suites must not drift apart.
+        from tests.conftest import ALL_LAYOUTS, EXTRA_LAYOUTS
+
+        assert ALL_LAYOUTS == tuple(DEFAULT_LAYOUTS) + EXTRA_LAYOUTS
+        assert set(DEFAULT_LAYOUTS).isdisjoint(EXTRA_LAYOUTS)
+
     def test_default_layouts_cover_tricky_shapes(self):
         nranks = [l[0] for l in DEFAULT_LAYOUTS]
         assert any(n & (n - 1) for n in nranks)  # a non-power-of-two
