@@ -16,6 +16,9 @@ Commands
     the same spec diff clean.
 ``autotune --cluster c [--ppn 28]``
     Regenerate the DPML tuning table for one cluster preset.
+``perf [scenario] [--gate] [--baseline BENCH_PERF.json] [--output out.json]``
+    Run the perf-regression suite (compat vs fast mode on figure-shaped
+    scenarios); see :mod:`repro.bench.perf`.
 """
 
 from __future__ import annotations
@@ -188,6 +191,16 @@ def main(argv: list[str] | None = None) -> int:
         help="print per-point progress for 'run' (stderr)",
     )
     parser.add_argument(
+        "--gate", action="store_true",
+        help="for 'perf': fail unless the fig5-shaped scenario clears the "
+        "counter-improvement floors",
+    )
+    parser.add_argument(
+        "--baseline", default=None,
+        help="for 'perf': committed BENCH_PERF.json to diff deterministic "
+        "counters against (wall-clock excluded)",
+    )
+    parser.add_argument(
         "--canonical", action="store_true",
         help="write 'run' JSON without volatile metadata (diff-friendly)",
     )
@@ -215,6 +228,10 @@ def main(argv: list[str] | None = None) -> int:
         return _run_figures(list(FIGURES), plot=args.plot)
     if command == "run":
         return _run_sweep(args)
+    if command == "perf":
+        from repro.bench.perf import main as perf_main
+
+        return perf_main(args)
     if command == "experiments":
         from repro.bench.experiments import generate_experiments_report
 

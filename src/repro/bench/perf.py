@@ -1,0 +1,364 @@
+"""Perf-regression harness: ``python -m repro.bench perf``.
+
+Runs small, figure-shaped scenarios twice — once with the kernel and
+payload layers in **compat** mode (heap-only event kernel, copy-always
+payloads: the seed's behaviour) and once in the default **fast** mode
+(now-queue, event pools, copy-on-write views) — and records, for each
+point:
+
+* the simulated latency (must be bit-identical between the two modes;
+  the harness hard-fails on any divergence),
+* the deterministic kernel counters (events allocated, heap pushes and
+  pops, now-queue entries, pool reuses),
+* the deterministic payload counters (bytes copied / viewed / reduced),
+* wall-clock time (recorded for humans, never gated: CI machines are
+  noisy, counters are not).
+
+The scenarios are shrunken versions of the paper's evaluation sweeps
+(see ``repro.bench.spec``): ``fig4``/``fig5`` keep the DPML leaders
+grid on clusters A/B at a small node count, ``fig10`` exercises the
+tuned selector on cluster D.  Every point runs with ``validate=True``
+so real numpy data flows through the copy-on-write paths.
+
+Each (point, mode) measurement uses a **fresh** :class:`SimSession` so
+the event pools start cold and the counters are reproducible run to
+run (pools survive ``reset()``, so reusing a session would make
+``events_allocated`` depend on history).
+
+``run_perf`` returns a plain dict; ``--output`` writes it as
+``BENCH_PERF.json``.  ``--gate`` enforces the improvement floors on the
+fig5-shaped scenario (>= 3x fewer events allocated, >= 5x fewer payload
+bytes copied).  ``--baseline <path>`` diffs the deterministic portion
+(latencies, counters, ratios) against a committed baseline and fails on
+any drift — wall-clock fields are stripped before comparing.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.bench.harness import allreduce_latency
+from repro.machine.clusters import get_cluster
+from repro.mpi.runtime import SimSession
+from repro.payload.payload import (
+    payload_counters,
+    reset_payload_counters,
+    set_payload_compat,
+)
+
+__all__ = [
+    "PerfPoint",
+    "SCENARIOS",
+    "GATE_SCENARIO",
+    "MIN_EVENTS_RATIO",
+    "MIN_BYTES_COPIED_RATIO",
+    "run_perf",
+    "gate_failures",
+    "baseline_mismatches",
+    "strip_volatile",
+    "main",
+]
+
+#: Scenario whose aggregate ratios the ``--gate`` flag enforces.
+GATE_SCENARIO = "fig5"
+#: Floor on compat/fast events-allocated ratio for the gate scenario.
+MIN_EVENTS_RATIO = 3.0
+#: Floor on compat/fast bytes-copied ratio for the gate scenario.
+MIN_BYTES_COPIED_RATIO = 5.0
+
+
+@dataclass(frozen=True)
+class PerfPoint:
+    """One benchmark layout, run in both compat and fast mode."""
+
+    cluster: str
+    nodes: int
+    ppn: int
+    algorithm: str
+    nbytes: int
+    leaders: Optional[int] = None
+    iterations: int = 2
+    warmup: int = 1
+
+    def label(self) -> str:
+        lead = f"l{self.leaders}" if self.leaders is not None else "tuned"
+        return (
+            f"{self.cluster}/n{self.nodes}/ppn{self.ppn}/"
+            f"{self.algorithm}/{self.nbytes}B/{lead}"
+        )
+
+
+def _dpml_grid(cluster: str, leaders: tuple[int, ...]) -> tuple[PerfPoint, ...]:
+    return tuple(
+        PerfPoint(cluster, nodes=4, ppn=8, algorithm="dpml", nbytes=nbytes,
+                  leaders=lead)
+        for nbytes in (4096, 65536)
+        for lead in leaders
+    )
+
+
+#: Figure-shaped scenario grids (small node counts, real data).
+SCENARIOS: dict[str, tuple[PerfPoint, ...]] = {
+    # Fig 4/5: DPML across the leaders grid (clusters A and B).
+    "fig4": _dpml_grid("a", (1, 4)),
+    "fig5": _dpml_grid("b", (1, 2, 4, 8)),
+    # Fig 10: the tuned selector picks algorithm + leaders per size.
+    "fig10": tuple(
+        PerfPoint("d", nodes=4, ppn=8, algorithm="dpml_tuned", nbytes=nbytes,
+                  iterations=1)
+        for nbytes in (16384, 262144)
+    ),
+}
+
+_KERNEL_KEYS = (
+    "events_allocated",
+    "heap_pushes",
+    "heap_pops",
+    "nowq_entries",
+    "pool_reuses",
+)
+_PAYLOAD_KEYS = ("bytes_copied", "bytes_viewed", "bytes_reduced")
+
+
+def _run_mode(point: PerfPoint, compat: bool) -> dict:
+    """One measurement on a fresh session (cold pools, zeroed counters)."""
+    set_payload_compat(compat)
+    reset_payload_counters()
+    try:
+        config = get_cluster(point.cluster, point.nodes)
+        session = SimSession(
+            config, point.nodes * point.ppn, ppn=point.ppn
+        )
+        session.machine.sim._compat = compat
+        kwargs = {} if point.leaders is None else {"leaders": point.leaders}
+        t0 = time.perf_counter()
+        latency = allreduce_latency(
+            config,
+            point.algorithm,
+            point.nbytes,
+            ppn=point.ppn,
+            iterations=point.iterations,
+            warmup=point.warmup,
+            validate=True,
+            session=session,
+            **kwargs,
+        )
+        wall = time.perf_counter() - t0
+        kernel = session.machine.sim.counters()
+        payload = payload_counters()
+    finally:
+        set_payload_compat(False)
+        reset_payload_counters()
+    return {
+        "latency": latency,
+        "wall_seconds": wall,
+        "kernel": {k: kernel[k] for k in _KERNEL_KEYS},
+        "payload": {k: payload[k] for k in _PAYLOAD_KEYS},
+    }
+
+
+def _ratio(compat: int, fast: int) -> Optional[float]:
+    if fast == 0:
+        return None if compat == 0 else float("inf")
+    return round(compat / fast, 4)
+
+
+def run_perf(scenarios: Optional[list[str]] = None, progress=None) -> dict:
+    """Run the perf suite; returns the ``BENCH_PERF.json`` payload.
+
+    Raises :class:`RuntimeError` if any point's simulated latency
+    differs between compat and fast mode — the optimisations must be
+    invisible to simulated time.
+    """
+    names = list(scenarios) if scenarios else list(SCENARIOS)
+    out: dict = {"schema": 1, "suite": "repro.bench.perf", "scenarios": {}}
+    for name in names:
+        points = SCENARIOS[name]
+        records = []
+        totals = {
+            "compat": {k: 0 for k in _KERNEL_KEYS + _PAYLOAD_KEYS},
+            "fast": {k: 0 for k in _KERNEL_KEYS + _PAYLOAD_KEYS},
+        }
+        for point in points:
+            compat = _run_mode(point, compat=True)
+            fast = _run_mode(point, compat=False)
+            if compat["latency"] != fast["latency"]:
+                raise RuntimeError(
+                    f"{name} {point.label()}: simulated latency diverged "
+                    f"between compat ({compat['latency']!r}) and fast "
+                    f"({fast['latency']!r}) mode"
+                )
+            for mode, rec in (("compat", compat), ("fast", fast)):
+                for k in _KERNEL_KEYS:
+                    totals[mode][k] += rec["kernel"][k]
+                for k in _PAYLOAD_KEYS:
+                    totals[mode][k] += rec["payload"][k]
+            records.append(
+                {
+                    "point": point.label(),
+                    "latency": compat["latency"],
+                    "compat": compat,
+                    "fast": fast,
+                }
+            )
+            if progress is not None:
+                progress(name, point, compat, fast)
+        ratios = {
+            "events_allocated": _ratio(
+                totals["compat"]["events_allocated"],
+                totals["fast"]["events_allocated"],
+            ),
+            "bytes_copied": _ratio(
+                totals["compat"]["bytes_copied"],
+                totals["fast"]["bytes_copied"],
+            ),
+        }
+        out["scenarios"][name] = {
+            "points": records,
+            "totals": totals,
+            "ratios": ratios,
+        }
+    out["gate"] = {
+        "scenario": GATE_SCENARIO,
+        "min_events_allocated_ratio": MIN_EVENTS_RATIO,
+        "min_bytes_copied_ratio": MIN_BYTES_COPIED_RATIO,
+    }
+    return out
+
+
+def gate_failures(report: dict) -> list[str]:
+    """Improvement-floor violations (empty list when the gate passes)."""
+    scenario = report["scenarios"].get(GATE_SCENARIO)
+    if scenario is None:
+        return [f"gate scenario {GATE_SCENARIO!r} missing from report"]
+    failures = []
+    ratios = scenario["ratios"]
+    checks = (
+        ("events_allocated", MIN_EVENTS_RATIO),
+        ("bytes_copied", MIN_BYTES_COPIED_RATIO),
+    )
+    for key, floor in checks:
+        ratio = ratios.get(key)
+        if ratio is None or ratio < floor:
+            failures.append(
+                f"{GATE_SCENARIO}: {key} ratio {ratio} below floor {floor}"
+            )
+    return failures
+
+
+def strip_volatile(node):
+    """Recursively drop wall-clock fields, keeping the deterministic rest."""
+    if isinstance(node, dict):
+        return {
+            k: strip_volatile(v)
+            for k, v in node.items()
+            if k != "wall_seconds"
+        }
+    if isinstance(node, list):
+        return [strip_volatile(v) for v in node]
+    return node
+
+
+def baseline_mismatches(report: dict, baseline: dict) -> list[str]:
+    """Differences in the deterministic portion vs a committed baseline."""
+    mismatches: list[str] = []
+
+    def walk(path, new, old):
+        if isinstance(new, dict) and isinstance(old, dict):
+            for key in sorted(set(new) | set(old)):
+                if key not in old:
+                    mismatches.append(f"{path}.{key}: missing from baseline")
+                elif key not in new:
+                    mismatches.append(f"{path}.{key}: missing from report")
+                else:
+                    walk(f"{path}.{key}", new[key], old[key])
+        elif isinstance(new, list) and isinstance(old, list):
+            if len(new) != len(old):
+                mismatches.append(
+                    f"{path}: length {len(new)} != baseline {len(old)}"
+                )
+            else:
+                for i, (a, b) in enumerate(zip(new, old)):
+                    walk(f"{path}[{i}]", a, b)
+        elif new != old:
+            mismatches.append(f"{path}: {new!r} != baseline {old!r}")
+
+    walk("$", strip_volatile(report), strip_volatile(baseline))
+    return mismatches
+
+
+def main(args) -> int:
+    """The ``perf`` subcommand of ``python -m repro.bench``."""
+    import sys
+
+    scenarios = [args.target] if args.target else None
+    if scenarios and scenarios[0] not in SCENARIOS:
+        print(
+            f"unknown perf scenario {scenarios[0]!r}; "
+            f"available: {', '.join(SCENARIOS)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    def progress(name, point, compat, fast):
+        print(
+            f"  [{name}] {point.label()}: "
+            f"events {compat['kernel']['events_allocated']}"
+            f"->{fast['kernel']['events_allocated']}, "
+            f"copied {compat['payload']['bytes_copied']}"
+            f"->{fast['payload']['bytes_copied']}B, "
+            f"wall {compat['wall_seconds']:.3f}"
+            f"->{fast['wall_seconds']:.3f}s",
+            file=sys.stderr,
+        )
+
+    report = run_perf(scenarios, progress=progress if args.progress else None)
+
+    for name, scenario in report["scenarios"].items():
+        ratios = scenario["ratios"]
+        wall_compat = sum(
+            r["compat"]["wall_seconds"] for r in scenario["points"]
+        )
+        wall_fast = sum(r["fast"]["wall_seconds"] for r in scenario["points"])
+        print(
+            f"{name}: {len(scenario['points'])} points, "
+            f"events_allocated {ratios['events_allocated']}x, "
+            f"bytes_copied {ratios['bytes_copied']}x, "
+            f"wall {wall_compat:.2f}s -> {wall_fast:.2f}s"
+        )
+
+    status = 0
+    if args.gate:
+        failures = gate_failures(report)
+        if failures:
+            for failure in failures:
+                print(f"GATE FAIL: {failure}", file=sys.stderr)
+            status = 1
+        else:
+            print(
+                f"gate ok: {GATE_SCENARIO} events >= {MIN_EVENTS_RATIO}x, "
+                f"bytes_copied >= {MIN_BYTES_COPIED_RATIO}x"
+            )
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        mismatches = baseline_mismatches(report, baseline)
+        if mismatches:
+            for mismatch in mismatches[:40]:
+                print(f"BASELINE DRIFT: {mismatch}", file=sys.stderr)
+            if len(mismatches) > 40:
+                print(
+                    f"... and {len(mismatches) - 40} more", file=sys.stderr
+                )
+            status = 1
+        else:
+            print(f"baseline ok: matches {args.baseline}")
+    if args.output:
+        with open(args.output, "w") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.output}")
+    return status

@@ -385,4 +385,8 @@ def _describe_wait(target) -> str:
         return f"all_of({pending}/{len(children)} pending)"
     if isinstance(target, AnyOf):
         return f"any_of({len(getattr(target, '_children', ()))} children)"
+    from repro.mpi.request import Request
+
+    if isinstance(target, Request):
+        return f"request:{target.kind}(src={target.source}, tag={target.tag})"
     return f"event:{type(target).__name__}"

@@ -28,7 +28,7 @@ from typing import Generator, Optional
 
 from repro.core.leaders import get_leader_plan
 from repro.payload.ops import ReduceOp
-from repro.payload.payload import Payload, concat, reduce_payloads, split_bounds
+from repro.payload.payload import Payload, reduce_payloads, split_bounds
 
 __all__ = ["allreduce_dpml", "allreduce_hierarchical"]
 
@@ -119,7 +119,9 @@ def allreduce_dpml(
         result_j = yield region.read((ctx, tag_base, "out", j), readers=ppn)
         yield from machine.shm_copy(me, result_j.nbytes, cross_socket=cross)
         outs.append(result_j)
-    return concat(outs)
+    # Reassembly through the region memo: the ppn co-located readers
+    # share one materialization of the result vector.
+    return region.concat(outs)
 
 
 def allreduce_hierarchical(

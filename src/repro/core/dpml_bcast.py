@@ -15,7 +15,7 @@ from __future__ import annotations
 from typing import Generator, Optional
 
 from repro.core.leaders import get_leader_plan
-from repro.payload.payload import Payload, concat
+from repro.payload.payload import Payload
 
 __all__ = ["bcast_dpml"]
 
@@ -84,4 +84,4 @@ def bcast_dpml(
         part_j = yield region.read((ctx, tag_base, "out", j), readers=ppn)
         yield from machine.shm_copy(me, part_j.nbytes, cross_socket=cross)
         outs.append(part_j)
-    return concat(outs)
+    return region.concat(outs)

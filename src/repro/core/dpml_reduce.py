@@ -19,7 +19,7 @@ from typing import Generator, Optional
 
 from repro.core.leaders import get_leader_plan
 from repro.payload.ops import ReduceOp
-from repro.payload.payload import Payload, concat, reduce_payloads
+from repro.payload.payload import Payload, reduce_payloads
 
 __all__ = ["reduce_dpml"]
 
@@ -100,4 +100,4 @@ def reduce_dpml(
         cross = machine.loc(leader_world).socket != my_loc.socket
         yield from machine.shm_copy(me, result_j.nbytes, cross_socket=cross)
         outs.append(result_j)
-    return concat(outs)
+    return region_root.concat(outs)

@@ -27,7 +27,7 @@ from typing import Generator, Optional
 
 from repro.core.leaders import get_leader_plan
 from repro.payload.ops import ReduceOp
-from repro.payload.payload import Payload, concat, reduce_payloads
+from repro.payload.payload import Payload, reduce_payloads
 
 __all__ = ["allreduce_dpml_multilevel"]
 
@@ -127,4 +127,4 @@ def allreduce_dpml_multilevel(
         result_j = yield region.read((ctx, tag_base, "out", j), readers=ppn)
         yield from machine.shm_copy(me, result_j.nbytes, cross_socket=cross)
         outs.append(result_j)
-    return concat(outs)
+    return region.concat(outs)

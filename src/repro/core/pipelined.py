@@ -121,4 +121,4 @@ def allreduce_dpml_pipelined(
         result_j = yield region.read((ctx, tag_base, "out", j), readers=ppn)
         yield from machine.shm_copy(me, result_j.nbytes, cross_socket=cross)
         outs.append(result_j)
-    return concat(outs)
+    return region.concat(outs)

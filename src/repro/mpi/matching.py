@@ -156,6 +156,8 @@ class Matcher:
             self._ooo.setdefault(env.src, {})[env.seq] = env
             return
         self._admit(env)
+        if not self._ooo:
+            return  # common case: nothing ever arrived out of order
         # Drain any buffered successors that are now in order.
         stash = self._ooo.get(env.src)
         while stash:

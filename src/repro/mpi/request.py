@@ -10,39 +10,44 @@ from repro.sim import Event, Simulator
 __all__ = ["Request"]
 
 
-class Request:
+class Request(Event):
     """Handle for a pending send, receive, or non-blocking collective.
 
-    The underlying :class:`~repro.sim.engine.Event` fires with the
-    operation's result (the received payload for receives, ``None`` for
-    sends).  Completion is one-shot; ``value`` stays readable after.
+    A request *is* its completion event (one object instead of a
+    handle-plus-event pair): it fires with the operation's result (the
+    received payload for receives, ``None`` for sends).  Completion is
+    one-shot; ``value`` stays readable after.
     """
 
-    __slots__ = ("sim", "event", "kind", "source", "tag")
+    __slots__ = ("kind", "source", "tag")
 
     def __init__(self, sim: Simulator, kind: str, source: int = -1, tag: int = -1):
-        self.sim = sim
-        self.event = Event(sim)
+        super().__init__(sim)
         self.kind = kind
         # Bookkeeping for debugging / MPI_Status-style introspection.
         self.source = source
         self.tag = tag
 
     @property
+    def event(self) -> Event:
+        """The completion event (the request itself, kept for API compat)."""
+        return self
+
+    @property
     def done(self) -> bool:
         """Whether the operation has completed."""
-        return self.event.triggered
+        return self.triggered
 
     @property
     def value(self) -> Any:
         """The completion value (valid once :attr:`done`)."""
-        if not self.event.triggered:
+        if not self.triggered:
             raise MPIError(f"request {self.kind!r} has not completed")
-        return self.event.value
+        return self._value
 
     def complete(self, value: Any = None, delay: float = 0.0) -> None:
         """Mark the operation complete (internal use by the transport)."""
-        self.event.succeed(value, delay=delay)
+        self.succeed(value, delay=delay)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "done" if self.done else "pending"

@@ -243,6 +243,7 @@ class Runtime:
             machine=self.machine,
             tracer=self.machine.tracer,
             reports=reports,
+            counters=self.sim.counters(),
         )
 
 
@@ -257,6 +258,11 @@ class JobResult:
     #: sanitizer reports collected during the run (empty when the job
     #: was not sanitized, or was sanitized and came back clean)
     reports: list = field(default_factory=list, repr=False)
+    #: deterministic kernel counters snapshotted at job completion (see
+    #: :meth:`repro.sim.engine.Simulator.counters`); note that
+    #: ``events_allocated`` depends on event-pool warmth, so only
+    #: fresh-session runs are comparable across processes
+    counters: dict = field(default_factory=dict, repr=False)
 
     def value(self, rank: int = 0) -> Any:
         """Return value of one rank."""

@@ -26,6 +26,15 @@ semantics:
   nobody will write again — a silent deadlock);
 * all :meth:`read` calls for one key must declare the same ``readers``
   fan-out.
+
+Zero-copy discipline
+--------------------
+Values are deposited and handed back *by reference* — payloads put into
+a region are read-only views (see :mod:`repro.payload.payload`), so
+readback costs no host-side copy, exactly like processes mapping one
+physical segment.  :meth:`concat` memoizes the reassembly of deposited
+pieces per identity, so the ``ppn`` co-located readers of a node share
+one materialization instead of each building their own.
 """
 
 from __future__ import annotations
@@ -49,6 +58,7 @@ class ShmRegion:
         "_reads_left",
         "_declared_readers",
         "_consumed",
+        "_concat_cache",
     )
 
     def __init__(self, sim: Simulator, name: str = "shm"):
@@ -60,6 +70,8 @@ class ShmRegion:
         # Sanitize-only bookkeeping (kept empty otherwise).
         self._declared_readers: dict[Hashable, int] = {}
         self._consumed: set = set()
+        # Identity-keyed memo for concat() (regions live for one job).
+        self._concat_cache: dict[tuple, Any] = {}
 
     def put(
         self, key: Hashable, value: Any, *, span: Optional[tuple] = None
@@ -95,8 +107,31 @@ class ShmRegion:
         for ev in self._waiters.pop(key, ()):  # wake in wait order
             ev.succeed(value)
 
+    def concat(self, parts: list) -> Any:
+        """Concatenate payloads read from this region, memoized by part
+        identity.
+
+        Every co-located rank of a node reads back the *same* deposited
+        payload objects and reassembles them in the fan-out phase; the
+        first caller does the work and the rest reuse the result (the
+        shared segment holds one copy, not ``ppn``).  Payloads never
+        define ``__eq__``/``__hash__``, so the tuple key hashes by
+        identity; the cache holds strong references, which makes id
+        reuse impossible while an entry lives.
+        """
+        from repro.payload.payload import concat as _concat
+        from repro.payload.payload import payload_compat
+
+        if payload_compat():
+            return _concat(parts)
+        key = tuple(parts)
+        cached = self._concat_cache.get(key)
+        if cached is None:
+            cached = self._concat_cache[key] = _concat(parts)
+        return cached
+
     def _wait(self, key: Hashable) -> Event:
-        ev = Event(self.sim)
+        ev = self.sim.event()
         if key in self._data:
             ev.succeed(self._data[key])
         else:

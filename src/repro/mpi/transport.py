@@ -27,7 +27,6 @@ from repro.machine.machine import Machine
 from repro.mpi.matching import ANY, EAGER, RTS, Envelope, Matcher
 from repro.mpi.request import Request
 from repro.payload.payload import Payload
-from repro.sim import Event
 
 __all__ = ["Transport", "RndvState"]
 
@@ -39,8 +38,8 @@ class RndvState:
 
     def __init__(self, transport: "Transport"):
         sim = transport.sim
-        self.cts = Event(sim)  # fired at the sender when the CTS arrives
-        self.data_done = Event(sim)  # fired at the receiver with the payload
+        self.cts = sim.event()  # fired at the sender when the CTS arrives
+        self.data_done = sim.event()  # fired at the receiver with the payload
 
 
 class Transport:
@@ -155,10 +154,9 @@ class Transport:
     def _send_eager_inter(self, src, dst, payload, tag, context, seq, req) -> Generator:
         machine = self.machine
         nbytes = payload.nbytes
-        yield machine.engine_submit(
-            src, machine.injection_service(nbytes), "net-send"
-        )
-        machine.tracer.charge("net-send", machine.injection_service(nbytes))
+        service = machine.injection_service(nbytes)
+        yield machine.engine_submit(src, service, "net-send")
+        machine.tracer.charge("net-send", service)
         req.complete()
         yield from self._wire(machine.node_of(src), machine.node_of(dst), nbytes)
         env = Envelope(src, dst, tag, context, EAGER, payload, nbytes, seq)
@@ -175,10 +173,9 @@ class Transport:
         self.matchers[dst].arrive(env)
         # Wait for the receiver's clear-to-send.
         yield rndv.cts
-        yield machine.engine_submit(
-            src, machine.injection_service(nbytes), "net-send"
-        )
-        machine.tracer.charge("net-send", machine.injection_service(nbytes))
+        service = machine.injection_service(nbytes)
+        yield machine.engine_submit(src, service, "net-send")
+        machine.tracer.charge("net-send", service)
         req.complete()
         yield from self._wire(machine.node_of(src), machine.node_of(dst), nbytes)
         rndv.data_done.succeed(payload)

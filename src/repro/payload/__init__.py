@@ -23,7 +23,10 @@ from repro.payload.payload import (
     SymbolicPayload,
     concat,
     make_payload,
+    payload_counters,
     reduce_payloads,
+    reset_payload_counters,
+    set_payload_compat,
     split_bounds,
 )
 
@@ -39,6 +42,9 @@ __all__ = [
     "SymbolicPayload",
     "concat",
     "make_payload",
+    "payload_counters",
     "reduce_payloads",
+    "reset_payload_counters",
+    "set_payload_compat",
     "split_bounds",
 ]

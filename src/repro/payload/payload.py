@@ -8,10 +8,27 @@ Partitioning semantics
 ``floor(count / parts)``.  DPML leaders own these exact partitions, so a
 count that is not divisible by the leader count is handled naturally
 (including pieces of zero elements when ``parts > count``).
+
+Copy-on-write
+-------------
+Payloads are immutable by convention (every reduction allocates a fresh
+result), so :meth:`DataPayload.slice` hands out read-only numpy *views*
+instead of copies, and :func:`concat` of adjacent sibling views returns
+a view of the shared parent range without touching the data — the
+simulated analogue of the zero-copy shared-memory discipline the
+multi-leader design relies on.  ``REPRO_PAYLOAD_COMPAT=1`` (or
+:func:`set_payload_compat`) restores the historical copy-everywhere
+behaviour; results are bit-identical either way.
+
+The module keeps deterministic byte counters (:func:`payload_counters`)
+so the perf harness can report data-movement savings that do not depend
+on the host machine.
 """
 
 from __future__ import annotations
 
+import functools
+import os
 from typing import Iterable, Sequence
 
 import numpy as np
@@ -25,15 +42,86 @@ __all__ = [
     "SymbolicPayload",
     "concat",
     "make_payload",
+    "payload_counters",
+    "reset_payload_counters",
+    "set_payload_compat",
     "split_bounds",
 ]
 
+_COMPAT = os.environ.get("REPRO_PAYLOAD_COMPAT", "").lower() in (
+    "1",
+    "true",
+    "yes",
+    "on",
+)
 
-def split_bounds(count: int, parts: int) -> list[tuple[int, int]]:
+
+def set_payload_compat(flag: bool) -> None:
+    """Force (or lift) copy-everywhere compatibility mode.
+
+    Overrides the ``REPRO_PAYLOAD_COMPAT`` environment default for the
+    rest of the process; the perf harness flips this to measure honest
+    before/after byte counters in one interpreter.
+    """
+    global _COMPAT
+    _COMPAT = bool(flag)
+
+
+def payload_compat() -> bool:
+    """Whether the copy-everywhere compatibility mode is active."""
+    return _COMPAT
+
+
+class _Counters:
+    """Deterministic byte counters for the payload layer."""
+
+    __slots__ = ("bytes_copied", "bytes_viewed", "bytes_reduced")
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self.bytes_copied = 0  # data physically duplicated
+        self.bytes_viewed = 0  # data shared through zero-copy views
+        self.bytes_reduced = 0  # reduction outputs (workspace, not movement)
+
+
+_COUNTERS = _Counters()
+
+
+def payload_counters() -> dict[str, int]:
+    """Snapshot of the module-wide byte counters.
+
+    ``bytes_copied`` counts every physical duplication of payload data
+    (slice copies in compat mode, ``concat`` materializations,
+    :meth:`Payload.copy`); ``bytes_viewed`` counts bytes shared through
+    zero-copy views instead; ``bytes_reduced`` counts reduction output
+    bytes (fresh workspace, reported separately because it is not data
+    movement).  Counters are process-global — reset around the region
+    you want to measure.
+    """
+    return {
+        "bytes_copied": _COUNTERS.bytes_copied,
+        "bytes_viewed": _COUNTERS.bytes_viewed,
+        "bytes_reduced": _COUNTERS.bytes_reduced,
+    }
+
+
+def reset_payload_counters() -> None:
+    """Zero the module-wide byte counters."""
+    _COUNTERS.reset()
+
+
+@functools.lru_cache(maxsize=4096)
+def split_bounds(count: int, parts: int) -> tuple[tuple[int, int], ...]:
     """``numpy.array_split``-compatible ``(start, stop)`` bounds.
 
+    Cached: every rank of every DPML call recomputes the identical
+    partition table, so the (count, parts) grid of a sweep is tiny
+    compared to the number of lookups.
+
     >>> split_bounds(10, 3)
-    [(0, 4), (4, 7), (7, 10)]
+    ((0, 4), (4, 7), (7, 10))
     """
     if parts < 1:
         raise PayloadError(f"cannot split into {parts} parts")
@@ -44,7 +132,7 @@ def split_bounds(count: int, parts: int) -> list[tuple[int, int]]:
         size = base + (1 if i < extra else 0)
         bounds.append((start, start + size))
         start += size
-    return bounds
+    return tuple(bounds)
 
 
 class Payload:
@@ -71,7 +159,8 @@ class Payload:
     # -- interface ----------------------------------------------------------
 
     def slice(self, start: int, stop: int) -> "Payload":
-        """Sub-vector ``[start:stop]`` (a copy, like an MPI buffer)."""
+        """Sub-vector ``[start:stop]`` (a read-only zero-copy view for
+        data payloads; treat payloads as immutable)."""
         raise NotImplementedError
 
     def reduce(self, other: "Payload", op: ReduceOp) -> "Payload":
@@ -102,15 +191,34 @@ class Payload:
 
 
 class DataPayload(Payload):
-    """Payload backed by a real 1-D numpy array."""
+    """Payload backed by a real 1-D numpy array.
 
-    __slots__ = ("array",)
+    Slices are read-only views that remember their root array and
+    offset (``_root``/``_start``), which lets :func:`concat` recognise
+    adjacent siblings and reassemble them without copying.
+    """
+
+    __slots__ = ("array", "_root", "_start")
 
     def __init__(self, array: np.ndarray):
         arr = np.asarray(array)
         if arr.ndim != 1:
             raise PayloadError(f"payload arrays must be 1-D, got shape {arr.shape}")
         self.array = arr
+        self._root = arr
+        self._start = 0
+
+    @classmethod
+    def _view(cls, root: np.ndarray, start: int, stop: int) -> "DataPayload":
+        """Internal: wrap ``root[start:stop]`` as a read-only view."""
+        view = root[start:stop]
+        view.flags.writeable = False
+        p = cls.__new__(cls)
+        p.array = view
+        p._root = root
+        p._start = start
+        _COUNTERS.bytes_viewed += view.nbytes
+        return p
 
     @property
     def count(self) -> int:  # type: ignore[override]
@@ -121,16 +229,26 @@ class DataPayload(Payload):
         return int(self.array.dtype.itemsize)
 
     def slice(self, start: int, stop: int) -> "DataPayload":
-        return DataPayload(self.array[start:stop].copy())
+        if _COMPAT:
+            out = self.array[start:stop].copy()
+            _COUNTERS.bytes_copied += out.nbytes
+            return DataPayload(out)
+        # Normalize python-slice semantics (clamping) so the recorded
+        # offset matches what numpy actually sliced.
+        a, b, _ = slice(start, stop).indices(self.array.shape[0])
+        return DataPayload._view(self._root, self._start + a, self._start + max(a, b))
 
     def reduce(self, other: Payload, op: ReduceOp) -> "DataPayload":
         self._check_compatible(other)
         if isinstance(other, SymbolicPayload):
             raise PayloadError("cannot mix data and symbolic payloads in reduce()")
         assert isinstance(other, DataPayload)
-        return DataPayload(op.apply(self.array, other.array))
+        out = op.apply(self.array, other.array)
+        _COUNTERS.bytes_reduced += out.nbytes
+        return DataPayload(out)
 
     def copy(self) -> "DataPayload":
+        _COUNTERS.bytes_copied += self.array.nbytes
         return DataPayload(self.array.copy())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -206,10 +324,16 @@ class Bundle(Payload):
 
     @property
     def itemsize(self) -> int:  # type: ignore[override]
-        # Heterogeneous parts are allowed; expose an effective itemsize
-        # only when uniform (nbytes is always exact).
+        # A single itemsize only exists when the parts agree; guessing
+        # one for a heterogeneous bundle would silently corrupt any
+        # byte accounting built on it (nbytes is always exact).
         sizes = {p.itemsize for p in self.parts}
-        return sizes.pop() if len(sizes) == 1 else 1
+        if len(sizes) != 1:
+            raise PayloadError(
+                f"bundle has heterogeneous part item sizes {sorted(sizes)}; "
+                "use nbytes or inspect .parts"
+            )
+        return sizes.pop()
 
     @property
     def nbytes(self) -> int:  # type: ignore[override]
@@ -228,11 +352,26 @@ class Bundle(Payload):
         return f"Bundle({len(self.parts)} parts, {self.nbytes}B)"
 
 
+def _sibling_range(parts: Sequence[Payload]):
+    """The shared (root, start, stop) range iff ``parts`` are adjacent
+    views of one root array, else None."""
+    first = parts[0]
+    root = first._root
+    pos = first._start
+    for p in parts:
+        if p._root is not root or p._start != pos:
+            return None
+        pos += p.array.shape[0]
+    return root, first._start, pos
+
+
 def concat(parts: Sequence[Payload]) -> Payload:
     """Concatenate payload pieces back into one vector.
 
     The inverse of :meth:`Payload.split`: ``concat(p.split(k))`` equals
-    ``p`` for any ``k``.
+    ``p`` for any ``k``.  When the pieces are adjacent views of one
+    parent array (exactly what ``split`` produces), the parent range is
+    returned as a zero-copy view; otherwise the data is materialized.
     """
     if not parts:
         raise PayloadError("cannot concatenate an empty list of payloads")
@@ -242,7 +381,14 @@ def concat(parts: Sequence[Payload]) -> Payload:
     if all(isinstance(p, SymbolicPayload) for p in parts):
         return SymbolicPayload(sum(p.count for p in parts), parts[0].itemsize)
     if all(isinstance(p, DataPayload) for p in parts):
-        return DataPayload(np.concatenate([p.array for p in parts]))
+        if not _COMPAT:
+            joined = _sibling_range(parts)
+            if joined is not None:
+                root, start, stop = joined
+                return DataPayload._view(root, start, stop)
+        out = np.concatenate([p.array for p in parts])
+        _COUNTERS.bytes_copied += out.nbytes
+        return DataPayload(out)
     raise PayloadError("cannot concatenate a mix of data and symbolic payloads")
 
 
@@ -257,7 +403,9 @@ def reduce_payloads(parts: Sequence[Payload], op: ReduceOp) -> Payload:
         first = parts[0]
         for p in parts[1:]:
             first._check_compatible(p)
-        return DataPayload(op.reduce_stack([p.array for p in parts]))
+        out = op.reduce_stack([p.array for p in parts])
+        _COUNTERS.bytes_reduced += out.nbytes
+        return DataPayload(out)
     if all(isinstance(p, SymbolicPayload) for p in parts):
         first = parts[0]
         for p in parts[1:]:

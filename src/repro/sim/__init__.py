@@ -7,7 +7,8 @@ simpy, specialised for the needs of the cluster models in
 * :class:`~repro.sim.engine.Simulator` — the event loop (heap of
   ``(time, seq, event)`` with a monotonically increasing sequence number
   so same-time events fire in creation order, making every run
-  bit-reproducible).
+  bit-reproducible; zero-delay wakeups take a FIFO now-queue fast path
+  that preserves exactly that order — see ``docs/performance.md``).
 * :class:`~repro.sim.engine.Event` / :class:`~repro.sim.engine.Timeout`
   / :class:`~repro.sim.engine.Process` — the waitables a coroutine can
   ``yield``.

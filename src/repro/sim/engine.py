@@ -2,9 +2,10 @@ r"""The discrete-event loop: events, processes, and the simulator.
 
 The kernel is deliberately tiny.  A *process* is a Python generator that
 ``yield``\ s *waitables* (events).  The simulator owns a binary heap of
-``(time, sequence, event)`` triples; when an event fires, every process
-waiting on it is resumed with the event's value (or has the event's
-exception thrown into it).
+``(time, sequence, event)`` triples plus a FIFO *now-queue* of
+zero-delay work; when an event fires, every process waiting on it is
+resumed with the event's value (or has the event's exception thrown
+into it).
 
 Determinism
 -----------
@@ -12,6 +13,29 @@ Two events scheduled for the same timestamp fire in the order they were
 scheduled (ties broken by a monotone sequence counter), so a simulation
 is a pure function of its inputs — crucial for reproducing the paper's
 figures and for debugging collective algorithms.
+
+The now-queue preserves this guarantee exactly.  Every schedule —
+heap-bound or not — consumes one sequence number, and the dispatcher
+always runs the globally smallest ``(time, sequence)`` pair next: a
+heap entry pre-empts the now-queue head only when its timestamp has
+already been reached *and* its sequence number is smaller.  The
+resulting event order is bit-identical to an all-heap kernel
+(``REPRO_KERNEL_COMPAT=1`` forces that kernel for differential runs).
+
+Fast paths
+----------
+The hot paths avoid allocation wherever the slow kernel used a
+throwaway ``Event``:
+
+* zero-delay wakeups append a tuple to the now-queue instead of a heap
+  push;
+* process start and :meth:`Process.interrupt` enqueue a direct resume
+  (no starter/proxy ``Event``);
+* waiting on an already-processed event enqueues the callback itself;
+* the first waiter of an event is stored in a slot (``_cb1``); the
+  callback list is only allocated for the second waiter;
+* processed one-shot events (``Event``/``Timeout``/``AllOf``) that no
+  one else references are recycled through per-class free pools.
 
 Deadlock detection
 ------------------
@@ -28,12 +52,16 @@ variable, consulted by every constructor) installs a
 kernel then checks event-time monotonicity on every step and hands the
 sanitizer the blocked-process wait graph when a deadlock is detected;
 the MPI layers above feed the same sanitizer their own invariants (see
-:mod:`repro.check`).
+:mod:`repro.check`).  The hot loop pays a single ``is None`` test for
+this when the sanitizer is off.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
+import sys
+from collections import deque
 from typing import Any, Callable, Generator, Iterable, Optional, Union
 
 from repro.errors import DeadlockError, InterruptError, SimulationError
@@ -49,8 +77,33 @@ __all__ = [
 
 # Event lifecycle states.
 _PENDING = 0  # not yet triggered
-_SCHEDULED = 1  # value decided, sitting in the heap
+_SCHEDULED = 1  # value decided, sitting in the heap or now-queue
 _PROCESSED = 2  # callbacks have run; .value is final
+
+# Now-queue entry kinds.  Entries are (seq, kind, a, b, c) tuples; the
+# payload fields depend on the kind.
+_NQ_EVENT = 0  # a: scheduled Event -> a._process()
+_NQ_CB = 1  # a: callback, b: processed source event -> a(b)
+_NQ_RESUME = 2  # a: Process, b: value, c: ok -> a._resume_with(b, c)
+
+# Free-pool tuning.  ``_POOLED_REFS`` is the refcount of an event whose
+# only remaining references are the dispatcher's local, the
+# ``_recycle`` parameter, and ``getrefcount``'s own argument — i.e.
+# nobody retained it.  If a future interpreter counts differently the
+# comparison simply never matches and recycling is skipped (safe);
+# tests/sim/test_engine.py asserts reuse actually happens on CPython.
+_POOLED_REFS = 3
+_POOL_CAP = 4096
+_getrefcount = getattr(sys, "getrefcount", None)
+
+
+def _env_compat() -> bool:
+    return os.environ.get("REPRO_KERNEL_COMPAT", "").lower() in (
+        "1",
+        "true",
+        "yes",
+        "on",
+    )
 
 
 class Event:
@@ -61,16 +114,22 @@ class Event:
     once the loop reaches it, its callbacks run and it becomes
     *processed*.  Waiting on an already-processed event resumes the
     waiter immediately (at the current simulation time).
+
+    The first waiter lives in the ``_cb1`` slot; ``callbacks`` stays
+    ``None`` until a second waiter arrives, so the common single-waiter
+    case allocates no list.
     """
 
-    __slots__ = ("sim", "callbacks", "_value", "_ok", "_state", "__weakref__")
+    __slots__ = ("sim", "_cb1", "callbacks", "_value", "_ok", "_state", "__weakref__")
 
     def __init__(self, sim: "Simulator"):
         self.sim = sim
-        self.callbacks: list[Callable[["Event"], None]] = []
+        self._cb1: Optional[Callable[["Event"], None]] = None
+        self.callbacks: Optional[list[Callable[["Event"], None]]] = None
         self._value: Any = None
         self._ok: bool = True
         self._state: int = _PENDING
+        sim._n_events += 1
 
     # -- state inspection -------------------------------------------------
 
@@ -123,23 +182,58 @@ class Event:
     def _process(self) -> None:
         """Run callbacks.  Called exactly once by the event loop."""
         self._state = _PROCESSED
-        callbacks, self.callbacks = self.callbacks, []
-        for cb in callbacks:
-            cb(self)
+        cb1 = self._cb1
+        callbacks = self.callbacks
+        self._cb1 = None
+        self.callbacks = None
+        if cb1 is not None:
+            cb1(self)
+        if callbacks:
+            for cb in callbacks:
+                cb(self)
 
     def _add_callback(self, cb: Callable[["Event"], None]) -> None:
-        """Attach ``cb``; fires immediately (via the heap) if processed."""
+        """Attach ``cb``; fires immediately (at the current time, in
+        schedule order) if the event has already been processed."""
         if self._state == _PROCESSED:
-            # Late waiter: resume it at the current time through a fresh
-            # zero-delay event so ordering stays heap-mediated.
-            proxy = Event(self.sim)
-            proxy.callbacks.append(cb)
-            proxy._value = self._value
-            proxy._ok = self._ok
-            proxy._state = _SCHEDULED
-            self.sim._schedule(proxy, 0.0)
+            sim = self.sim
+            if sim._compat:
+                # Late waiter: resume it through a fresh zero-delay
+                # event so ordering stays heap-mediated.
+                proxy = Event(sim)
+                proxy._cb1 = cb
+                proxy._value = self._value
+                proxy._ok = self._ok
+                proxy._state = _SCHEDULED
+                sim._schedule(proxy, 0.0)
+            else:
+                sim._seq += 1
+                sim._n_nowq += 1
+                sim._nowq.append((sim._seq, _NQ_CB, cb, self, None))
+        elif self._cb1 is None and self.callbacks is None:
+            self._cb1 = cb
+        elif self.callbacks is None:
+            self.callbacks = [cb]
         else:
             self.callbacks.append(cb)
+
+    def _remove_callback(self, cb: Callable[["Event"], None]) -> None:
+        """Detach the first callback equal to ``cb`` (no-op if absent)."""
+        if self._cb1 is not None and self._cb1 == cb:
+            lst = self.callbacks
+            if lst:
+                self._cb1 = lst.pop(0)
+                if not lst:
+                    self.callbacks = None
+            else:
+                self._cb1 = None
+            return
+        lst = self.callbacks
+        if lst is not None:
+            try:
+                lst.remove(cb)
+            except ValueError:
+                pass
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = {_PENDING: "pending", _SCHEDULED: "scheduled", _PROCESSED: "processed"}
@@ -189,12 +283,17 @@ class Process(Event):
         self.name = name or getattr(gen, "__name__", "process")
         sim._live_processes.add(self)
         # Kick off at the current time.
-        starter = Event(sim)
-        starter._value = None
-        starter._ok = True
-        starter._state = _SCHEDULED
-        starter.callbacks.append(self._resume)
-        sim._schedule(starter, 0.0)
+        if sim._compat:
+            starter = Event(sim)
+            starter._value = None
+            starter._ok = True
+            starter._state = _SCHEDULED
+            starter._cb1 = self._resume
+            sim._schedule(starter, 0.0)
+        else:
+            sim._seq += 1
+            sim._n_nowq += 1
+            sim._nowq.append((sim._seq, _NQ_RESUME, self, None, True))
 
     @property
     def is_alive(self) -> bool:
@@ -212,30 +311,39 @@ class Process(Event):
             raise SimulationError(f"cannot interrupt finished {self!r}")
         target = self._waiting_on
         if target is not None:
-            try:
-                target.callbacks.remove(self._resume)
-            except ValueError:
-                pass
+            target._remove_callback(self._resume)
         self._waiting_on = None
-        proxy = Event(self.sim)
-        proxy._value = InterruptError(cause)
-        proxy._ok = False
-        proxy._state = _SCHEDULED
-        proxy.callbacks.append(self._resume)
-        self.sim._schedule(proxy, 0.0)
+        sim = self.sim
+        if sim._compat:
+            proxy = Event(sim)
+            proxy._value = InterruptError(cause)
+            proxy._ok = False
+            proxy._state = _SCHEDULED
+            proxy._cb1 = self._resume
+            sim._schedule(proxy, 0.0)
+        else:
+            sim._seq += 1
+            sim._n_nowq += 1
+            sim._nowq.append(
+                (sim._seq, _NQ_RESUME, self, InterruptError(cause), False)
+            )
 
     # -- internal ----------------------------------------------------------
 
     def _resume(self, trigger: Event) -> None:
         """Advance the generator with the trigger's outcome."""
+        self._resume_with(trigger._value, trigger._ok)
+
+    def _resume_with(self, value: Any, ok: bool) -> None:
+        """Advance the generator with an outcome (value + success flag)."""
         self._waiting_on = None
         sim = self.sim
         sim._active_process = self
         try:
-            if trigger._ok:
-                target = self._gen.send(trigger._value)
+            if ok:
+                target = self._gen.send(value)
             else:
-                target = self._gen.throw(trigger._value)
+                target = self._gen.throw(value)
         except StopIteration as stop:
             sim._active_process = None
             sim._live_processes.discard(self)
@@ -247,7 +355,11 @@ class Process(Event):
         except BaseException as exc:
             sim._active_process = None
             sim._live_processes.discard(self)
-            if not self.callbacks and not sim._catch_process_errors:
+            if (
+                self._cb1 is None
+                and not self.callbacks
+                and not sim._catch_process_errors
+            ):
                 # Nobody is joining this process: surface the failure.
                 raise
             self._value = exc
@@ -282,6 +394,9 @@ class AllOf(Event):
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim)
+        self._arm(events)
+
+    def _arm(self, events: Iterable[Event]) -> None:
         self._children = list(events)
         self._remaining = len(self._children)
         self._failed = False
@@ -343,11 +458,22 @@ class Simulator:
     >>> sim.run()
     >>> proc.value
     3.0
+
+    ``compat=True`` (or ``REPRO_KERNEL_COMPAT=1``) disables every fast
+    path — all scheduling goes through the heap and no event is pooled —
+    reproducing the original kernel's allocation behaviour exactly.
+    Results are bit-identical either way; compat exists so the perf
+    harness can measure honest before/after counters.
     """
 
-    def __init__(self, sanitize: Union[bool, Any, None] = None) -> None:
+    def __init__(
+        self,
+        sanitize: Union[bool, Any, None] = None,
+        compat: Optional[bool] = None,
+    ) -> None:
         self.now: float = 0.0
         self._heap: list[tuple[float, int, Event]] = []
+        self._nowq: deque = deque()
         self._seq: int = 0
         self._live_processes: set[Process] = set()
         self._active_process: Optional[Process] = None
@@ -355,6 +481,17 @@ class Simulator:
         # the Process event instead of propagating out of run().  The MPI
         # runtime enables this so one failing rank reports cleanly.
         self._catch_process_errors: bool = False
+        self._compat: bool = _env_compat() if compat is None else bool(compat)
+        # Free pools of processed, unreferenced one-shot events.
+        self._pool_event: list[Event] = []
+        self._pool_timeout: list[Timeout] = []
+        self._pool_allof: list[AllOf] = []
+        # Deterministic perf counters (see ``counters()``).
+        self._n_events: int = 0
+        self._n_heap_push: int = 0
+        self._n_heap_pop: int = 0
+        self._n_nowq: int = 0
+        self._n_pool_hit: int = 0
         # ``sanitize`` is tri-state: None consults REPRO_SANITIZE, a
         # bool forces it, and a Sanitizer instance is installed as-is
         # (lazy import: repro.check sits above the kernel in the
@@ -362,38 +499,88 @@ class Simulator:
         if sanitize is None or sanitize is True or sanitize is False:
             from repro.check.sanitizer import as_sanitizer
 
-            self.sanitizer = as_sanitizer(sanitize)
+            self._sanitizer = as_sanitizer(sanitize)
         else:
-            self.sanitizer = sanitize
+            self._sanitizer = sanitize
+
+    @property
+    def sanitizer(self):
+        """The installed :class:`~repro.check.sanitizer.Sanitizer` (or None)."""
+        return self._sanitizer
+
+    @sanitizer.setter
+    def sanitizer(self, value) -> None:
+        self._sanitizer = value
 
     def reset(self) -> None:
         """Rewind to the pristine ``t=0`` state of a fresh simulator.
 
-        Drops every scheduled event and registered process and restarts
-        the tie-breaking sequence counter, so the next run is again a
-        pure function of its inputs: a run on a reset simulator is
-        bit-identical to the same run on a newly constructed one.
-        Objects holding their own state against this simulator (queues,
-        resources, stores) must be reset by their owners — see
+        Drops every scheduled event and registered process, restarts
+        the tie-breaking sequence counter, and zeroes the perf
+        counters, so the next run is again a pure function of its
+        inputs: a run on a reset simulator produces results
+        bit-identical to the same run on a newly constructed one.  The
+        event free pools are deliberately *kept* — reuse never changes
+        results, but it does mean ``events_allocated`` on a reused
+        session reads lower than on a cold one (the perf harness uses
+        fresh sessions for exactly this reason).  Objects holding their
+        own state against this simulator (queues, resources, stores)
+        must be reset by their owners — see
         :meth:`repro.machine.machine.Machine.reset`.
         """
         self.now = 0.0
         self._heap.clear()
+        self._nowq.clear()
         self._seq = 0
         self._live_processes.clear()
         self._active_process = None
         self._catch_process_errors = False
-        if self.sanitizer is not None:
-            self.sanitizer.reset()
+        self._n_events = 0
+        self._n_heap_push = 0
+        self._n_heap_pop = 0
+        self._n_nowq = 0
+        self._n_pool_hit = 0
+        if self._sanitizer is not None:
+            self._sanitizer.reset()
+
+    def counters(self) -> dict[str, int]:
+        """Deterministic kernel counters since construction/:meth:`reset`.
+
+        ``events_allocated`` counts ``Event.__init__`` calls (pool
+        reuses skip it); ``pool_reuses`` counts factory hits on the
+        free pools; ``nowq_entries`` counts zero-delay dispatches that
+        bypassed the heap.
+        """
+        return {
+            "events_allocated": self._n_events,
+            "heap_pushes": self._n_heap_push,
+            "heap_pops": self._n_heap_pop,
+            "nowq_entries": self._n_nowq,
+            "pool_reuses": self._n_pool_hit,
+        }
 
     # -- factories ----------------------------------------------------------
 
     def event(self) -> Event:
-        """Create a fresh pending event."""
+        """Create a fresh pending event (recycled when possible)."""
+        pool = self._pool_event
+        if pool:
+            self._n_pool_hit += 1
+            return pool.pop()
         return Event(self)
 
     def timeout(self, delay: float, value: Any = None) -> Timeout:
         """Create an event that fires after ``delay``."""
+        pool = self._pool_timeout
+        if pool:
+            if delay < 0:
+                raise SimulationError(f"negative timeout delay: {delay}")
+            self._n_pool_hit += 1
+            t = pool.pop()
+            t._value = value
+            t._state = _SCHEDULED
+            self._schedule(t, delay)
+            return t
         return Timeout(self, delay, value)
 
     def process(
@@ -404,6 +591,12 @@ class Simulator:
 
     def all_of(self, events: Iterable[Event]) -> AllOf:
         """Event that fires when all ``events`` have fired."""
+        pool = self._pool_allof
+        if pool:
+            self._n_pool_hit += 1
+            ev = pool.pop()
+            ev._arm(events)
+            return ev
         return AllOf(self, events)
 
     def any_of(self, events: Iterable[Event]) -> AnyOf:
@@ -416,39 +609,104 @@ class Simulator:
         if delay < 0:
             raise SimulationError(f"cannot schedule into the past: {delay}")
         self._seq += 1
-        heapq.heappush(self._heap, (self.now + delay, self._seq, event))
+        if delay == 0.0 and not self._compat:
+            self._n_nowq += 1
+            self._nowq.append((self._seq, _NQ_EVENT, event, None, None))
+        else:
+            self._n_heap_push += 1
+            heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 
     # -- execution ----------------------------------------------------------
 
-    def step(self) -> None:
-        """Process the single next event."""
+    def _dispatch_heap(self) -> None:
+        """Pop and process the heap head."""
         when, _, event = heapq.heappop(self._heap)
-        if self.sanitizer is not None and when < self.now:
-            self.sanitizer.heap_regression(self.now, when, event)
+        self._n_heap_pop += 1
+        if self._sanitizer is not None and when < self.now:
+            self._sanitizer.heap_regression(self.now, when, event)
             raise SimulationError(
                 f"event-time regression: next event at t={when} but the "
                 f"clock already reached t={self.now}"
             )
         self.now = when
         event._process()
+        self._recycle(event)
+
+    def _dispatch_nowq(self) -> None:
+        """Run the now-queue head (always at the current time)."""
+        _, kind, a, b, c = self._nowq.popleft()
+        if kind == _NQ_EVENT:
+            a._process()
+            self._recycle(a)
+        elif kind == _NQ_RESUME:
+            a._resume_with(b, c)
+        else:  # _NQ_CB: late-attached callback, original event as trigger
+            a(b)
+
+    def _recycle(self, event: Event) -> None:
+        """Return a processed, otherwise-unreferenced event to its pool."""
+        if _getrefcount is None or self._compat:
+            return
+        cls = event.__class__
+        if cls is Event:
+            pool = self._pool_event
+        elif cls is Timeout:
+            pool = self._pool_timeout
+        elif cls is AllOf:
+            pool = self._pool_allof
+        else:
+            return
+        if len(pool) < _POOL_CAP and _getrefcount(event) == _POOLED_REFS:
+            event._cb1 = None
+            event.callbacks = None
+            event._value = None
+            event._ok = True
+            event._state = _PENDING
+            if cls is AllOf:
+                event._children = []
+            pool.append(event)
+
+    def step(self) -> None:
+        """Process the single next event.
+
+        The now-queue head runs unless a heap entry is both due
+        (``time <= now``) and older (smaller sequence number) — the
+        comparison that makes the split queues equivalent to one
+        totally-ordered ``(time, sequence)`` heap.
+        """
+        nowq = self._nowq
+        heap = self._heap
+        if nowq and not (
+            heap and heap[0][0] <= self.now and heap[0][1] < nowq[0][0]
+        ):
+            self._dispatch_nowq()
+        else:
+            self._dispatch_heap()
 
     def run(self, until: Optional[float] = None) -> None:
-        """Run until the heap drains or ``until`` is reached.
+        """Run until the event queues drain or ``until`` is reached.
 
-        Raises :class:`DeadlockError` if the heap drains while processes
-        are still alive (blocked on events nobody will trigger).
+        Raises :class:`DeadlockError` if the queues drain while
+        processes are still alive (blocked on events nobody will
+        trigger).
         """
         heap = self._heap
-        while heap:
-            if until is not None and heap[0][0] > until:
+        nowq = self._nowq
+        while nowq or heap:
+            if nowq and not (
+                heap and heap[0][0] <= self.now and heap[0][1] < nowq[0][0]
+            ):
+                self._dispatch_nowq()
+            elif until is not None and heap[0][0] > until:
                 self.now = until
                 return
-            self.step()
+            else:
+                self._dispatch_heap()
         if self._live_processes:
             blocked = sorted(p.name for p in self._live_processes)
             wait_graph = (
-                self.sanitizer.on_deadlock(self)
-                if self.sanitizer is not None
+                self._sanitizer.on_deadlock(self)
+                if self._sanitizer is not None
                 else None
             )
             preview = ", ".join(blocked[:8])
@@ -462,4 +720,6 @@ class Simulator:
 
     def peek(self) -> float:
         """Time of the next scheduled event (inf if none)."""
+        if self._nowq:
+            return self.now
         return self._heap[0][0] if self._heap else float("inf")

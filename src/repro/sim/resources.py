@@ -68,7 +68,7 @@ class FCFSQueue:
         self.busy_until = done_at
         self.served_time += service
         self.job_count += 1
-        ev = Event(self.sim)
+        ev = self.sim.event()
         ev.succeed(value=done_at, delay=done_at - now)
         return ev
 
@@ -117,7 +117,7 @@ class Resource:
 
     def acquire(self) -> Event:
         """Event that fires once a unit of the resource is held."""
-        ev = Event(self.sim)
+        ev = self.sim.event()
         if self.in_use < self.capacity:
             self.in_use += 1
             ev.succeed()
@@ -180,7 +180,7 @@ class Store:
 
     def get(self) -> Event:
         """Event firing with the oldest item."""
-        ev = Event(self.sim)
+        ev = self.sim.event()
         if self._items:
             ev.succeed(self._items.popleft())
         else:

@@ -1,0 +1,115 @@
+"""Tests for the perf-regression harness (``repro.bench perf``)."""
+
+import copy
+
+import pytest
+
+from repro.bench.perf import (
+    GATE_SCENARIO,
+    MIN_BYTES_COPIED_RATIO,
+    MIN_EVENTS_RATIO,
+    SCENARIOS,
+    baseline_mismatches,
+    gate_failures,
+    run_perf,
+    strip_volatile,
+)
+
+
+@pytest.fixture(scope="module")
+def fig10_report():
+    """One real (small) suite run, shared across the module's tests."""
+    return run_perf(["fig10"])
+
+
+class TestRunPerf:
+    def test_scenarios_cover_the_papers_shapes(self):
+        assert set(SCENARIOS) == {"fig4", "fig5", "fig10"}
+        assert GATE_SCENARIO in SCENARIOS
+
+    def test_report_structure_and_ratios(self, fig10_report):
+        scenario = fig10_report["scenarios"]["fig10"]
+        assert len(scenario["points"]) == len(SCENARIOS["fig10"])
+        for record in scenario["points"]:
+            assert record["compat"]["latency"] == record["fast"]["latency"]
+            assert record["compat"]["wall_seconds"] >= 0
+            assert set(record["fast"]["kernel"]) == {
+                "events_allocated",
+                "heap_pushes",
+                "heap_pops",
+                "nowq_entries",
+                "pool_reuses",
+            }
+            assert set(record["fast"]["payload"]) == {
+                "bytes_copied",
+                "bytes_viewed",
+                "bytes_reduced",
+            }
+            # compat never takes a fast path
+            assert record["compat"]["kernel"]["nowq_entries"] == 0
+            assert record["compat"]["payload"]["bytes_viewed"] == 0
+        assert scenario["ratios"]["events_allocated"] > 1.0
+        assert scenario["ratios"]["bytes_copied"] > 1.0
+
+    def test_counters_are_deterministic_across_runs(self, fig10_report):
+        again = run_perf(["fig10"])
+        assert strip_volatile(again) == strip_volatile(fig10_report)
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            run_perf(["fig99"])
+
+
+class TestGate:
+    def _synthetic(self, events_ratio, bytes_ratio):
+        return {
+            "scenarios": {
+                GATE_SCENARIO: {
+                    "ratios": {
+                        "events_allocated": events_ratio,
+                        "bytes_copied": bytes_ratio,
+                    }
+                }
+            }
+        }
+
+    def test_passing_report_has_no_failures(self):
+        report = self._synthetic(MIN_EVENTS_RATIO, MIN_BYTES_COPIED_RATIO)
+        assert gate_failures(report) == []
+
+    def test_low_ratios_fail(self):
+        report = self._synthetic(
+            MIN_EVENTS_RATIO - 0.1, MIN_BYTES_COPIED_RATIO - 0.1
+        )
+        failures = gate_failures(report)
+        assert len(failures) == 2
+        assert any("events_allocated" in f for f in failures)
+        assert any("bytes_copied" in f for f in failures)
+
+    def test_missing_scenario_fails(self):
+        assert gate_failures({"scenarios": {}})
+
+
+class TestBaseline:
+    def test_identical_reports_match(self, fig10_report):
+        assert baseline_mismatches(fig10_report, fig10_report) == []
+
+    def test_wall_clock_drift_is_ignored(self, fig10_report):
+        noisy = copy.deepcopy(fig10_report)
+        record = noisy["scenarios"]["fig10"]["points"][0]
+        record["compat"]["wall_seconds"] *= 100
+        assert baseline_mismatches(fig10_report, noisy) == []
+
+    def test_counter_drift_is_reported(self, fig10_report):
+        drifted = copy.deepcopy(fig10_report)
+        record = drifted["scenarios"]["fig10"]["points"][0]
+        record["fast"]["kernel"]["events_allocated"] += 1
+        mismatches = baseline_mismatches(fig10_report, drifted)
+        assert mismatches
+        assert "events_allocated" in mismatches[0]
+
+    def test_missing_key_is_reported(self, fig10_report):
+        truncated = copy.deepcopy(fig10_report)
+        del truncated["scenarios"]["fig10"]["ratios"]
+        mismatches = baseline_mismatches(fig10_report, truncated)
+        assert any("missing from baseline" in m for m in mismatches)

@@ -228,6 +228,20 @@ class TestDeadlockDetection:
         leak = report.details["matchers"]["rank1"]
         assert leak["posted"] == [{"src": 0, "tag": 9, "context": 0}]
 
+    def test_wait_graph_names_blocked_request(self, san):
+        """Requests are events, and the wait graph spells out which MPI
+        operation a blocked rank was stuck in."""
+
+        def fn(comm):
+            if comm.rank == 0:
+                yield comm.sim.timeout(1e-6)
+            else:
+                yield from comm.recv(source=0, tag=9)
+
+        with pytest.raises(DeadlockError) as info:
+            run_job(cluster_b(2), 2, fn, ppn=1, sanitize=san)
+        assert info.value.wait_graph["rank1"] == "request:recv(src=0, tag=9)"
+
     def test_unsanitized_deadlock_has_empty_wait_graph(self):
         def fn(comm):
             yield from comm.recv(source=(comm.rank + 1) % comm.size, tag=1)

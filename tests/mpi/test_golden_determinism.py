@@ -1,0 +1,138 @@
+"""Golden event-order determinism: fast mode vs the seed's compat mode.
+
+The PR-4 hot-path work (now-queue zero-delay dispatch, event pooling,
+copy-on-write payload views) must be *invisible* to simulated results:
+every :class:`~repro.mpi.runtime.JobResult` — per-rank values and the
+simulated elapsed time — must be bit-identical to what the seed's
+heap-only, copy-always implementation produces.  Both of those old code
+paths are kept alive behind compat switches
+(``Simulator(compat=True)`` and ``set_payload_compat(True)``)
+precisely so this equivalence stays testable forever.
+
+The grid is the shared conftest layout grid (the same shapes as
+``python -m repro.check``), and the sanitized variants re-run the
+comparison with the invariant sanitizer attached, since sanitizer
+bookkeeping rides the same hot paths.
+"""
+
+import numpy as np
+import pytest
+
+from tests.conftest import ALL_LAYOUTS, layout_id
+from repro.machine.clusters import cluster_b
+from repro.mpi import run_job
+from repro.payload import SUM, make_payload, set_payload_compat
+from repro.sim import Simulator
+
+COUNT = 96
+
+
+@pytest.fixture(autouse=True)
+def _restore_payload_mode():
+    yield
+    set_payload_compat(False)
+
+
+def _allreduce_fn(inputs, algorithm, **kw):
+    def fn(comm):
+        data = make_payload(len(inputs[comm.rank]), data=inputs[comm.rank])
+        result = yield from comm.allreduce(data, SUM, algorithm=algorithm, **kw)
+        return result.array
+
+    return fn
+
+
+def _run(layout, algorithm, *, compat, sanitize=False, **kw):
+    """One job with kernel *and* payload layer in the given mode."""
+    nranks, ppn, nodes = layout
+    rng = np.random.default_rng(7)
+    inputs = [
+        rng.integers(1, 10, COUNT).astype(np.float64) for _ in range(nranks)
+    ]
+    set_payload_compat(compat)
+    try:
+        job = run_job(
+            cluster_b(nodes),
+            nranks,
+            _allreduce_fn(inputs, algorithm, **kw),
+            ppn=ppn,
+            sim=Simulator(compat=compat),
+            sanitize=sanitize,
+        )
+    finally:
+        set_payload_compat(False)
+    return job
+
+
+def _assert_identical(golden, fast):
+    assert golden.elapsed == fast.elapsed  # bit-identical simulated time
+    for rank, (want, got) in enumerate(zip(golden.values, fast.values)):
+        np.testing.assert_array_equal(want, got, err_msg=f"rank {rank}")
+
+
+@pytest.mark.parametrize("layout", ALL_LAYOUTS, ids=layout_id)
+def test_fast_mode_matches_seed_on_layout_grid(layout):
+    golden = _run(layout, "dpml", compat=True)
+    fast = _run(layout, "dpml", compat=False)
+    _assert_identical(golden, fast)
+
+
+@pytest.mark.parametrize("layout", ALL_LAYOUTS[:3], ids=layout_id)
+def test_fast_mode_matches_seed_under_sanitizer(layout):
+    golden = _run(layout, "dpml", compat=True, sanitize=True)
+    fast = _run(layout, "dpml", compat=False, sanitize=True)
+    _assert_identical(golden, fast)
+    assert not golden.reports
+    assert not fast.reports
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    ["dpml", "dpml_pipelined", "dpml_tuned", "mvapich2", "hierarchical", "ring"],
+)
+def test_fast_mode_matches_seed_across_algorithms(algorithm):
+    layout = (16, 4, 4)
+    golden = _run(layout, algorithm, compat=True)
+    fast = _run(layout, algorithm, compat=False)
+    _assert_identical(golden, fast)
+
+
+@pytest.mark.parametrize("kernel_compat", [True, False])
+@pytest.mark.parametrize("payload_compat", [True, False])
+def test_mixed_modes_agree(kernel_compat, payload_compat):
+    """The kernel and payload switches are independent: any combination
+    of the two produces the same results."""
+    layout = (8, 4, 2)
+    nranks, ppn, nodes = layout
+    rng = np.random.default_rng(3)
+    inputs = [
+        rng.integers(1, 10, COUNT).astype(np.float64) for _ in range(nranks)
+    ]
+    golden = _run(layout, "dpml", compat=True, leaders=2)
+    set_payload_compat(payload_compat)
+    try:
+        job = run_job(
+            cluster_b(nodes),
+            nranks,
+            _allreduce_fn(inputs, "dpml", leaders=2),
+            ppn=ppn,
+            sim=Simulator(compat=kernel_compat),
+        )
+    finally:
+        set_payload_compat(False)
+    assert job.elapsed == golden.elapsed
+
+
+def test_counters_reflect_modes():
+    """Fast mode actually takes the fast paths; compat mode never does."""
+    layout = (16, 4, 4)
+    golden = _run(layout, "dpml", compat=True)
+    fast = _run(layout, "dpml", compat=False)
+    assert golden.counters["nowq_entries"] == 0
+    assert golden.counters["pool_reuses"] == 0
+    assert fast.counters["nowq_entries"] > 0
+    assert fast.counters["pool_reuses"] > 0
+    assert (
+        fast.counters["events_allocated"] < golden.counters["events_allocated"]
+    )
+    assert fast.counters["heap_pushes"] < golden.counters["heap_pushes"]

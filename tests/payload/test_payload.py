@@ -11,18 +11,33 @@ from repro.payload import (
     MIN,
     PROD,
     SUM,
+    Bundle,
     DataPayload,
     SymbolicPayload,
     concat,
     make_payload,
+    payload_counters,
     reduce_payloads,
+    reset_payload_counters,
+    set_payload_compat,
     split_bounds,
 )
 
 
+@pytest.fixture
+def compat_mode():
+    """Copy-everywhere payload mode for the duration of one test."""
+    set_payload_compat(True)
+    yield
+    set_payload_compat(False)
+
+
 class TestSplitBounds:
     def test_even_split(self):
-        assert split_bounds(12, 3) == [(0, 4), (4, 8), (8, 12)]
+        assert split_bounds(12, 3) == ((0, 4), (4, 8), (8, 12))
+
+    def test_results_are_cached(self):
+        assert split_bounds(100, 7) is split_bounds(100, 7)
 
     def test_uneven_split_matches_numpy(self):
         for count in (10, 17, 1, 100):
@@ -63,12 +78,56 @@ class TestDataPayload:
         with pytest.raises(PayloadError):
             DataPayload(np.zeros((2, 3)))
 
-    def test_slice_copies(self):
+    def test_slice_is_readonly_view(self):
         arr = np.arange(10.0)
         p = DataPayload(arr)
         s = p.slice(2, 5)
+        assert s.array.tolist() == [2.0, 3.0, 4.0]
+        assert np.shares_memory(s.array, arr)  # zero copy
+        with pytest.raises(ValueError):
+            s.array[:] = -1  # views are immutable
+        assert arr[2] == 2.0
+
+    def test_slice_copies_in_compat_mode(self, compat_mode):
+        arr = np.arange(10.0)
+        p = DataPayload(arr)
+        s = p.slice(2, 5)
+        assert not np.shares_memory(s.array, arr)
         s.array[:] = -1
         assert arr[2] == 2.0  # original untouched
+
+    def test_slice_of_slice_tracks_root_offset(self):
+        p = DataPayload(np.arange(10.0))
+        inner = p.slice(2, 8).slice(1, 4)
+        assert inner.array.tolist() == [3.0, 4.0, 5.0]
+        assert inner._root is p.array
+        assert inner._start == 3
+
+    def test_copy_is_writable_and_independent(self):
+        p = DataPayload(np.arange(4.0))
+        c = p.slice(1, 3).copy()
+        c.array[:] = -1
+        assert p.array.tolist() == [0.0, 1.0, 2.0, 3.0]
+
+    def test_concat_of_siblings_is_zero_copy(self):
+        p = DataPayload(np.arange(13.0))
+        back = concat(p.split(4))
+        assert back.array.tolist() == p.array.tolist()
+        assert np.shares_memory(back.array, p.array)
+
+    def test_concat_of_strangers_materializes(self):
+        a = DataPayload(np.arange(3.0))
+        b = DataPayload(np.arange(3.0, 6.0))
+        back = concat([a, b])
+        assert back.array.tolist() == [0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        assert not np.shares_memory(back.array, a.array)
+
+    def test_concat_of_reordered_siblings_materializes(self):
+        p = DataPayload(np.arange(10.0))
+        parts = p.split(2)
+        back = concat([parts[1], parts[0]])
+        assert back.array.tolist() == [5.0, 6.0, 7.0, 8.0, 9.0, 0.0, 1.0, 2.0, 3.0, 4.0]
+        assert not np.shares_memory(back.array, p.array)
 
     def test_reduce_sum(self):
         a = DataPayload(np.array([1.0, 2.0]))
@@ -128,6 +187,49 @@ class TestSymbolicPayload:
     def test_concat_mixed_kind_rejected(self):
         with pytest.raises(PayloadError):
             concat([SymbolicPayload(2), DataPayload(np.zeros(2))])
+
+
+class TestBundle:
+    def test_uniform_itemsize(self):
+        b = Bundle([SymbolicPayload(3, 4), SymbolicPayload(5, 4)])
+        assert b.itemsize == 4
+        assert b.nbytes == 32
+
+    def test_heterogeneous_itemsize_rejected(self):
+        b = Bundle([SymbolicPayload(3, 4), SymbolicPayload(5, 8)])
+        with pytest.raises(PayloadError, match="heterogeneous"):
+            b.itemsize
+        assert b.nbytes == 52  # exact byte accounting still works
+
+
+class TestCounters:
+    def test_views_and_copies_are_counted(self):
+        reset_payload_counters()
+        p = DataPayload(np.arange(16, dtype=np.float64))
+        p.slice(0, 8)  # view: 64 bytes
+        p.slice(0, 4).copy()  # view: 32 bytes, then copy: 32 bytes
+        counters = payload_counters()
+        assert counters["bytes_viewed"] == 96
+        assert counters["bytes_copied"] == 32
+        reset_payload_counters()
+        assert payload_counters()["bytes_copied"] == 0
+
+    def test_compat_mode_counts_slice_copies(self, compat_mode):
+        reset_payload_counters()
+        p = DataPayload(np.arange(16, dtype=np.float64))
+        p.slice(0, 8)
+        counters = payload_counters()
+        assert counters["bytes_copied"] == 64
+        assert counters["bytes_viewed"] == 0
+
+    def test_reduction_workspace_counted_separately(self):
+        reset_payload_counters()
+        a = DataPayload(np.ones(8))
+        b = DataPayload(np.ones(8))
+        reduce_payloads([a, b], SUM)
+        counters = payload_counters()
+        assert counters["bytes_reduced"] == 64
+        assert counters["bytes_copied"] == 0
 
 
 class TestReducePayloads:

@@ -383,3 +383,168 @@ class TestRunControl:
         sim.process(proc())
         sim.step()  # process start event
         assert sim.peek() == 4.0
+
+    def test_peek_sees_pending_now_queue_work(self, sim):
+        def proc():
+            yield sim.timeout(4.0)
+
+        sim.process(proc())
+        # In fast mode the process-start wakeup sits in the now-queue,
+        # not the heap; peek must still report it as due *now*.
+        assert sim._nowq
+        assert sim.peek() == sim.now == 0.0
+
+
+def _mixed_scenario(sim):
+    """A workload touching every kernel path; returns its event log.
+
+    Same-time timeouts, manual events with multiple waiters, late
+    attachment to an already-processed event, composites, and an
+    interrupt — the paths whose fast-mode rewrites must preserve the
+    seed's deterministic tie order exactly.
+    """
+    log = []
+
+    ev = sim.event()
+    done = sim.event()
+
+    def racer(tag, delay):
+        yield sim.timeout(delay)
+        log.append((tag, sim.now))
+
+    def waiter(i):
+        val = yield ev
+        log.append((f"w{i}", sim.now, val))
+
+    def late_waiter():
+        yield sim.timeout(3.0)
+        val = yield ev  # ev processed long ago: late-attach path
+        log.append(("late", sim.now, val))
+
+    def trigger():
+        yield sim.timeout(1.0)
+        ev.succeed("x")
+        log.append(("trigger", sim.now))
+
+    def composite():
+        values = yield sim.all_of([sim.timeout(0.5, "a"), sim.timeout(2.0, "b")])
+        log.append(("all", sim.now, tuple(values)))
+        idx, val = yield sim.any_of([sim.timeout(9.0), sim.timeout(0.0, "now")])
+        log.append(("any", sim.now, idx, val))
+        done.succeed()
+
+    def sleeper():
+        try:
+            yield sim.timeout(50.0)
+        except InterruptError as exc:
+            log.append(("interrupted", sim.now, exc.cause))
+
+    victim = sim.process(sleeper())
+
+    def killer():
+        yield done
+        victim.interrupt(cause="stop")
+        log.append(("killer", sim.now))
+
+    for tag in ("t1", "t2"):
+        sim.process(racer(tag, 1.0))
+    for i in range(3):
+        sim.process(waiter(i))
+    sim.process(late_waiter())
+    sim.process(trigger())
+    sim.process(composite())
+    sim.process(killer())
+    sim.run()
+    return log
+
+
+class TestFastKernelEquivalence:
+    def test_fast_and_compat_event_logs_identical(self):
+        fast = _mixed_scenario(Simulator())
+        compat = _mixed_scenario(Simulator(compat=True))
+        assert fast == compat
+
+    def test_compat_mode_never_uses_fast_paths(self):
+        sim = Simulator(compat=True)
+        _mixed_scenario(sim)
+        counters = sim.counters()
+        assert counters["nowq_entries"] == 0
+        assert counters["pool_reuses"] == 0
+        assert counters["heap_pushes"] == counters["heap_pops"]
+
+    def test_fast_mode_routes_zero_delay_through_now_queue(self):
+        sim = Simulator()
+        _mixed_scenario(sim)
+        counters = sim.counters()
+        assert counters["nowq_entries"] > 0
+        assert counters["heap_pushes"] < counters["events_allocated"] + 1
+        assert counters["pool_reuses"] > 0
+
+    def test_compat_env_variable_selects_compat(self, monkeypatch):
+        monkeypatch.setenv("REPRO_KERNEL_COMPAT", "1")
+        sim = Simulator()
+        _mixed_scenario(sim)
+        assert sim.counters()["nowq_entries"] == 0
+
+
+class TestEventPool:
+    def test_unreferenced_event_is_recycled_and_reused(self):
+        """Guards the ``_POOLED_REFS`` refcount constant: a processed
+        event nobody holds must land in the pool and come back from the
+        factory as the *same object*."""
+        sim = Simulator()
+        ev = sim.event()
+
+        def waiter(event):
+            yield event
+
+        sim.process(waiter(ev))
+        ev.succeed(1)
+        del ev  # drop the test's reference so only the kernel holds it
+        sim.run()
+        assert sim._pool_event
+        recycled = sim._pool_event[-1]
+        fresh = sim.event()
+        assert fresh is recycled
+        assert fresh.triggered is False
+        assert sim.counters()["pool_reuses"] >= 1
+
+    def test_retained_event_is_not_recycled(self):
+        sim = Simulator()
+        ev = sim.event()
+
+        def waiter(event):
+            got = yield event
+            return got
+
+        p = sim.process(waiter(ev))
+        ev.succeed("kept")
+        sim.run()
+        # The test still references ``ev``, so pooling it would corrupt
+        # a live handle; the refcount guard must leave it alone.
+        assert ev not in sim._pool_event
+        assert ev.value == "kept"
+        assert p.value == "kept"
+
+    def test_pooled_timeout_still_validates_delay(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+
+        sim.process(proc())
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)  # must raise even on the pool-hit path
+
+    def test_reset_zeroes_counters(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(1.0)
+
+        sim.process(proc())
+        sim.run()
+        assert sim.counters()["events_allocated"] > 0
+        sim.reset()
+        assert all(v == 0 for v in sim.counters().values())
