@@ -1,0 +1,267 @@
+"""Process-arrival-pattern (PAP) resilience curves.
+
+Proficz (arXiv:1804.05349) shows allreduce performance collapsing when
+processes arrive at the collective at different times; the paper's DPML
+design argues multiple leaders hide exactly this kind of imbalance.
+This benchmark measures that claim: full-job allreduce latency versus
+:class:`~repro.faults.plan.ArrivalSkew` magnitude for several
+algorithms on the same layout.
+
+Unlike the OSU-style harness (whose warmup barrier absorbs arrival
+skew), each point here runs a bare rank job — no barrier before the
+timed loop — so the reported latency is the full-job elapsed time per
+iteration, skew included.  Everything is seed-deterministic: the module
+doubles as the CI ``faults-smoke`` gate, which runs ``main()`` twice
+under ``--sanitize`` and requires bit-identical canonical JSON.
+
+Run standalone::
+
+    python benchmarks/bench_pap_imbalance.py --nodes 4 --ppn 4 \
+        --skews 0,5e-5,2e-4 --output curve.json --sanitize
+
+or under pytest-benchmark (tier-2)::
+
+    pytest benchmarks/bench_pap_imbalance.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.bench.spec import resolve_config
+from repro.errors import MPIError
+from repro.faults import ArrivalSkew, FaultInjector, FaultPlan, LinkOutage
+from repro.mpi.runtime import SimSession
+from repro.payload.ops import SUM
+from repro.payload.payload import SymbolicPayload
+
+#: Default skew magnitudes (seconds): healthy -> Proficz-scale imbalance.
+DEFAULT_SKEWS = (0.0, 5e-5, 2e-4, 1e-3)
+
+#: Default algorithm panel (>= 3, per the resilience-curve requirement).
+DEFAULT_ALGORITHMS = ("dpml", "rabenseifner", "adaptive")
+
+FLOAT_BYTES = 4
+
+
+def _pap_job(comm, count, algorithm, iterations):
+    """Bare rank job: ``iterations`` allreduces, no leading barrier."""
+    payload = SymbolicPayload(count, FLOAT_BYTES)
+    for _ in range(iterations):
+        yield from comm.allreduce(payload, SUM, algorithm=algorithm)
+    return comm.now
+
+
+def measure_curve(
+    *,
+    cluster: str = "b",
+    nodes: int = 4,
+    ppn: int = 4,
+    nbytes: int = 16384,
+    skews=DEFAULT_SKEWS,
+    algorithms=DEFAULT_ALGORITHMS,
+    pattern: str = "sorted",
+    iterations: int = 3,
+    seed: int = 0,
+    sanitize=None,
+) -> dict:
+    """Latency (s/iteration, skew included) per algorithm per skew.
+
+    Returns a canonical, JSON-ready record; identical inputs produce a
+    bit-identical record (the determinism the faults-smoke CI job
+    gates on).
+    """
+    config = resolve_config(cluster, nodes)
+    count = max(1, nbytes // FLOAT_BYTES)
+    session = SimSession(config, nodes * ppn, ppn, sanitize=sanitize)
+    curves: dict[str, dict[str, float]] = {}
+    for algorithm in algorithms:
+        by_skew: dict[str, float] = {}
+        for skew in skews:
+            plan = (
+                FaultPlan()
+                if skew == 0.0
+                else FaultPlan(
+                    faults=(ArrivalSkew(magnitude=skew, pattern=pattern),)
+                )
+            )
+            job = session.run(
+                _pap_job,
+                faults=plan,
+                fault_seed=seed,
+                args=(count, algorithm, iterations),
+            )
+            by_skew[repr(skew)] = job.elapsed / iterations
+        curves[algorithm] = by_skew
+    return {
+        "cluster": cluster,
+        "nodes": nodes,
+        "ppn": ppn,
+        "nbytes": nbytes,
+        "pattern": pattern,
+        "iterations": iterations,
+        "seed": seed,
+        "skews": [repr(s) for s in skews],
+        "curves": curves,
+    }
+
+
+def canonical_json(record: dict) -> str:
+    """Deterministic rendition (sorted keys, repr'd floats already)."""
+    return json.dumps(record, indent=2, sort_keys=True)
+
+
+def _format_table(record: dict) -> str:
+    skews = record["skews"]
+    width = max(len(a) for a in record["curves"]) + 2
+    header = "skew (s):".ljust(width) + "".join(f"{s:>14}" for s in skews)
+    lines = [header]
+    for algorithm, by_skew in sorted(record["curves"].items()):
+        cells = "".join(
+            f"{float(by_skew[s]) * 1e6:>12.1f}us" for s in skews
+        )
+        lines.append(algorithm.ljust(width) + cells)
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="PAP imbalance resilience curves (latency vs. "
+        "arrival-skew magnitude)."
+    )
+    parser.add_argument("--cluster", default="b", help="cluster preset")
+    parser.add_argument("--nodes", type=int, default=4)
+    parser.add_argument("--ppn", type=int, default=4)
+    parser.add_argument("--nbytes", type=int, default=16384)
+    parser.add_argument(
+        "--skews", default=",".join(repr(s) for s in DEFAULT_SKEWS),
+        help="comma-separated skew magnitudes (seconds)",
+    )
+    parser.add_argument(
+        "--algorithms", default=",".join(DEFAULT_ALGORITHMS),
+        help="comma-separated allreduce algorithms (>= 3 for a curve)",
+    )
+    parser.add_argument(
+        "--pattern", default="sorted",
+        help="arrival pattern: sorted/reverse/random/exponential/single",
+    )
+    parser.add_argument("--iterations", type=int, default=3)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--output", default=None, help="write the canonical JSON record here"
+    )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help="run every job under the invariant sanitizer",
+    )
+    args = parser.parse_args(argv)
+    try:
+        skews = tuple(float(s) for s in args.skews.split(","))
+    except ValueError:
+        print(f"--skews wants comma-separated floats, got {args.skews!r}",
+              file=sys.stderr)
+        return 2
+    record = measure_curve(
+        cluster=args.cluster,
+        nodes=args.nodes,
+        ppn=args.ppn,
+        nbytes=args.nbytes,
+        skews=skews,
+        algorithms=tuple(a.strip() for a in args.algorithms.split(",")),
+        pattern=args.pattern,
+        iterations=args.iterations,
+        seed=args.seed,
+        sanitize=True if args.sanitize else None,
+    )
+    print(_format_table(record))
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(canonical_json(record))
+            fh.write("\n")
+        print(f"wrote {args.output}", file=sys.stderr)
+    return 0
+
+
+# -- pytest-benchmark entry points (tier-2) ----------------------------------
+
+
+def test_pap_resilience_curve(benchmark, capsys):
+    """Latency degrades with skew; the curve covers >= 3 algorithms."""
+    record = benchmark.pedantic(
+        lambda: measure_curve(nodes=4, ppn=4, sanitize=True),
+        rounds=1, iterations=1,
+    )
+    with capsys.disabled():
+        print("\n" + _format_table(record) + "\n")
+    benchmark.extra_info["curves"] = record["curves"]
+    assert len(record["curves"]) >= 3
+    for algorithm, by_skew in record["curves"].items():
+        healthy = float(by_skew[repr(0.0)])
+        worst = float(by_skew[repr(1e-3)])
+        # A 1ms skew cannot be hidden: the job takes visibly longer.
+        assert worst > healthy, algorithm
+        # ... but the collective still completes within skew + healthy
+        # time plus scheduling slack (no pathological serialisation).
+        assert worst < healthy + 2e-3, algorithm
+
+
+def test_pap_curve_is_deterministic(benchmark):
+    """Two identical measurements produce bit-identical canonical JSON."""
+    def twice():
+        kw = dict(nodes=2, ppn=4, skews=(0.0, 2e-4), iterations=2,
+                  sanitize=True)
+        return measure_curve(**kw), measure_curve(**kw)
+
+    first, second = benchmark.pedantic(twice, rounds=1, iterations=1)
+    assert canonical_json(first) == canonical_json(second)
+
+
+def test_link_outage_survived_by_retry(benchmark):
+    """A transient outage is ridden out by transport backoff."""
+    config = resolve_config("b", 2)
+    session = SimSession(config, 4, 2, sanitize=True)
+    plan = FaultPlan(
+        faults=(LinkOutage(src=0, dst=1, start=0.0, duration=4e-5),)
+    )
+
+    def measure():
+        injector = FaultInjector.for_machine(plan, session.machine)
+        job = session.run(
+            _pap_job, faults=injector, args=(256, "rabenseifner", 2)
+        )
+        return job, injector
+
+    job, injector = benchmark.pedantic(measure, rounds=1, iterations=1)
+    retries = job.counters["faults"]["retries"]
+    benchmark.extra_info["retries"] = retries
+    assert sum(retries) > 0  # the outage was hit ...
+    assert sum(job.counters["faults"]["exhausted"]) == 0  # ... and survived
+    assert job.elapsed > 4e-5  # completion waited out the outage window
+
+
+def test_link_outage_exhaustion_raises(benchmark):
+    """A permanent outage exhausts retries into a clean MPIError."""
+    from repro.check.sanitizer import Sanitizer
+
+    config = resolve_config("b", 2)
+    plan = FaultPlan(faults=(LinkOutage(src=0, dst=1),))  # never heals
+
+    def measure():
+        sanitizer = Sanitizer(strict=False)
+        session = SimSession(config, 4, 2, sanitize=sanitizer)
+        try:
+            session.run(_pap_job, faults=plan, args=(256, "rabenseifner", 1))
+        except MPIError as e:
+            return sanitizer, str(e)
+        raise AssertionError("permanent outage should abort the job")
+
+    sanitizer, message = benchmark.pedantic(measure, rounds=1, iterations=1)
+    assert "retry" in message
+    kinds = sanitizer.kinds()
+    assert "fault-retries-exhausted" in kinds
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -97,6 +97,19 @@ def _run_sweep(args) -> int:
             file=sys.stderr,
         )
         return 2
+    faults = None
+    if args.faults:
+        from repro.errors import FaultError
+        from repro.faults.plan import FaultPlan
+
+        try:
+            faults = FaultPlan.load(args.faults)
+        except FileNotFoundError:
+            print(f"no such fault plan: {args.faults}", file=sys.stderr)
+            return 2
+        except FaultError as e:
+            print(f"invalid fault plan {args.faults}: {e}", file=sys.stderr)
+            return 2
     try:
         spec = named_sweep(
             args.target,
@@ -104,6 +117,7 @@ def _run_sweep(args) -> int:
             repeats=args.repeats,
             sigma=args.sigma,
             base_seed=args.seed,
+            faults=faults,
         )
         executor = get_executor(args.jobs)
     except ReproError as e:
@@ -184,7 +198,13 @@ def main(argv: list[str] | None = None) -> int:
         help="noise level for 'run' repeats",
     )
     parser.add_argument(
-        "--seed", type=int, default=0, help="base noise seed for 'run'"
+        "--seed", type=int, default=0,
+        help="base seed for 'run' (noise streams and fault realisation)",
+    )
+    parser.add_argument(
+        "--faults", default=None, metavar="PLAN.json",
+        help="fault plan JSON for 'run' (see python -m repro.faults); "
+        "the plan is serialised into the sweep's spec hash",
     )
     parser.add_argument(
         "--progress", action="store_true",

@@ -50,6 +50,8 @@ def allreduce_latency(
     noise: Optional[NoiseModel] = None,
     timeline=None,
     session: Optional[SimSession] = None,
+    faults=None,
+    fault_seed: int = 0,
     **alg_kwargs,
 ) -> float:
     """Average per-call allreduce latency (seconds).
@@ -61,6 +63,13 @@ def allreduce_latency(
     :class:`~repro.mpi.runtime.SimSession` whose layout must match
     ``(config, nranks, ppn)``; the measurement then reuses its machine
     instead of constructing a fresh one.
+
+    ``faults`` injects a :class:`~repro.faults.plan.FaultPlan` (realised
+    with ``fault_seed``) or a pre-realised injector into the run.  Note
+    the OSU-style warmup+barrier absorbs arrival skew — the timed loop
+    starts after every rank has arrived, so ``ArrivalSkew`` only shifts
+    the job's wall clock here.  Use ``benchmarks/bench_pap_imbalance.py``
+    (full-job elapsed, no barrier) to measure PAP sensitivity.
     """
     if nranks is None:
         if ppn is None:
@@ -103,11 +112,18 @@ def allreduce_latency(
                 f"session layout {session.key} does not match the requested "
                 f"point ({config.name!r}, nranks={nranks}, ppn={ppn})"
             )
-        job = session.run(bench, noise=noise, timeline=timeline)
+        job = session.run(
+            bench, noise=noise, timeline=timeline,
+            faults=faults, fault_seed=fault_seed,
+        )
     else:
         machine = Machine(
             config, nranks, ppn, trace=trace, noise=noise, timeline=timeline
         )
+        if faults is not None:
+            from repro.mpi.runtime import _as_injector
+
+            machine.faults = _as_injector(faults, machine, fault_seed)
         job = Runtime(machine).launch(bench)
     # The slowest rank's window is the collective's completion latency
     # (matches how OSU reports max across ranks at scale).

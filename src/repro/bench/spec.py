@@ -37,6 +37,7 @@ from repro.machine.config import (
 )
 from repro.machine.fattree import FatTreeConfig
 from repro.machine.noise import NoiseModel
+from repro.faults.plan import FaultPlan
 
 __all__ = [
     "PAPER_SIZES",
@@ -162,6 +163,9 @@ class SamplePoint:
     sigma: float = 0.0
     seed: int = 0
     extra: tuple[tuple[str, Any], ...] = ()
+    #: optional declarative fault plan; realised per run with this
+    #: point's ``seed``, so repeats draw independent fault schedules
+    faults: Optional[FaultPlan] = None
 
     @property
     def nranks(self) -> int:
@@ -203,6 +207,8 @@ class SamplePoint:
             warmup=self.warmup,
             noise=self.noise(),
             session=session,
+            faults=self.faults,
+            fault_seed=self.seed,
             **self.alg_kwargs(),
         )
 
@@ -220,11 +226,18 @@ class SamplePoint:
             parts.append(f"l={self.leaders}")
         if self.repeat:
             parts.append(f"r={self.repeat}")
+        if self.faults is not None:
+            parts.append(f"faults={self.faults.plan_hash()}")
         return " ".join(parts)
 
     def to_dict(self) -> dict:
-        """JSON-ready dict."""
-        return {
+        """JSON-ready dict.
+
+        The ``faults`` key appears only when a plan is set, so
+        fault-free points serialise (and hash) exactly as they did
+        before the subsystem existed.
+        """
+        out = {
             "cluster": _cluster_to_json(self.cluster),
             "nodes": self.nodes,
             "ppn": self.ppn,
@@ -238,6 +251,9 @@ class SamplePoint:
             "seed": self.seed,
             "extra": [list(pair) for pair in self.extra],
         }
+        if self.faults is not None:
+            out["faults"] = self.faults.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "SamplePoint":
@@ -255,6 +271,11 @@ class SamplePoint:
             sigma=data.get("sigma", 0.0),
             seed=data.get("seed", 0),
             extra=_freeze_kwargs(data.get("extra", ())),
+            faults=(
+                FaultPlan.from_dict(data["faults"])
+                if data.get("faults")
+                else None
+            ),
         )
 
 
@@ -285,6 +306,8 @@ class SweepSpec:
     sigma: float = 0.0
     base_seed: int = 0
     extra: tuple[tuple[str, Any], ...] = ()
+    #: optional declarative fault plan applied to every point
+    faults: Optional[FaultPlan] = None
 
     def __post_init__(self):
         object.__setattr__(self, "sizes", tuple(self.sizes))
@@ -328,6 +351,7 @@ class SweepSpec:
                             sigma=self.sigma,
                             seed=self.base_seed + repeat,
                             extra=self.extra,
+                            faults=self.faults,
                         )
 
     def points(self) -> tuple[SamplePoint, ...]:
@@ -350,8 +374,13 @@ class SweepSpec:
         return replace(self, **changes) if changes else self
 
     def to_dict(self) -> dict:
-        """JSON-ready dict."""
-        return {
+        """JSON-ready dict.
+
+        The ``faults`` key appears only when a plan is set, keeping
+        fault-free spec hashes identical to their pre-subsystem values
+        (EXPERIMENTS.md entries stay stable).
+        """
+        out = {
             "name": self.name,
             "cluster": _cluster_to_json(self.cluster),
             "nodes": self.nodes,
@@ -366,6 +395,9 @@ class SweepSpec:
             "base_seed": self.base_seed,
             "extra": [list(pair) for pair in self.extra],
         }
+        if self.faults is not None:
+            out["faults"] = self.faults.to_dict()
+        return out
 
     @classmethod
     def from_dict(cls, data: dict) -> "SweepSpec":
@@ -384,6 +416,11 @@ class SweepSpec:
             sigma=data.get("sigma", 0.0),
             base_seed=data.get("base_seed", 0),
             extra=_freeze_kwargs(data.get("extra", ())),
+            faults=(
+                FaultPlan.from_dict(data["faults"])
+                if data.get("faults")
+                else None
+            ),
         )
 
     def spec_hash(self) -> str:
@@ -594,6 +631,7 @@ def leader_sweep_spec(
     repeats: int = 1,
     sigma: float = 0.0,
     base_seed: int = 0,
+    faults: Optional[FaultPlan] = None,
 ) -> SweepSpec:
     """Figures 4-7 as a spec (paper-scale aware, like the regenerators)."""
     if which not in _LEADER_SWEEPS:
@@ -613,6 +651,7 @@ def leader_sweep_spec(
         repeats=repeats,
         sigma=sigma,
         base_seed=base_seed,
+        faults=faults,
     )
 
 
@@ -624,6 +663,7 @@ def algorithm_sweep_spec(
     repeats: int = 1,
     sigma: float = 0.0,
     base_seed: int = 0,
+    faults: Optional[FaultPlan] = None,
 ) -> SweepSpec:
     """Figures 8-10 as a spec (paper-scale aware, like the regenerators)."""
     if which not in _ALGORITHM_SWEEPS:
@@ -652,6 +692,7 @@ def algorithm_sweep_spec(
         repeats=repeats,
         sigma=sigma,
         base_seed=base_seed,
+        faults=faults,
     )
 
 

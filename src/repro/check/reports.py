@@ -37,6 +37,7 @@ __all__ = [
     "RESOURCE_MISUSE",
     "NUMERIC_MISMATCH",
     "COST_DIVERGENCE",
+    "FAULT_RETRIES_EXHAUSTED",
     "ALL_KINDS",
 ]
 
@@ -69,6 +70,9 @@ RESOURCE_MISUSE = "resource-misuse"  #: release without acquire, bad service
 NUMERIC_MISMATCH = "numeric-mismatch"  #: result differs from numpy reference
 COST_DIVERGENCE = "cost-model-divergence"  #: simulated time outside the band
 
+# -- fault injection ---------------------------------------------------------
+FAULT_RETRIES_EXHAUSTED = "fault-retries-exhausted"  #: outage outlived backoff
+
 #: The closed kind vocabulary, for validation and docs.
 ALL_KINDS = (
     GATE_REOPEN,
@@ -90,6 +94,7 @@ ALL_KINDS = (
     RESOURCE_MISUSE,
     NUMERIC_MISMATCH,
     COST_DIVERGENCE,
+    FAULT_RETRIES_EXHAUSTED,
 )
 
 

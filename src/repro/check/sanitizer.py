@@ -211,6 +211,38 @@ class Sanitizer:
             for key, state in runtime._gates.items()
         }
 
+    # -- fault injection ------------------------------------------------------
+
+    def fault_retries_exhausted(
+        self,
+        rank: int,
+        src_node: int,
+        dst_node: int,
+        attempts: int,
+        now: float,
+        *,
+        blocked_until: float = 0.0,
+    ) -> Optional[SanitizerReport]:
+        """A sender gave up on an outaged link after ``attempts`` retries.
+
+        Recorded at raise time (the accompanying
+        :class:`~repro.errors.MPIError` propagates out of the simulation
+        before :meth:`finalize` runs), so tests and the CLI can inspect
+        the report on a passed-in sanitizer instance even when the job
+        aborts.
+        """
+        return self.record(
+            R.FAULT_RETRIES_EXHAUSTED,
+            f"rank {rank} exhausted {attempts} retry(ies) sending over "
+            f"outaged link {src_node}->{dst_node}",
+            time=now,
+            rank=rank,
+            src_node=src_node,
+            dst_node=dst_node,
+            attempts=attempts,
+            blocked_until=blocked_until,
+        )
+
     # -- shared-memory spans --------------------------------------------------
 
     def shm_write(

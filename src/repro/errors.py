@@ -65,6 +65,11 @@ class TuningError(ReproError):
     impossible configuration."""
 
 
+class FaultError(ReproError):
+    """Invalid fault-injection plan (unknown fault kind, bad window,
+    malformed JSON schema, ...)."""
+
+
 class SanitizerError(ReproError):
     """A sanitized run finished with invariant violations.
 

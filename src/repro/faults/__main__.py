@@ -1,0 +1,6 @@
+"""``python -m repro.faults`` entry point."""
+
+from repro.faults.cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,166 @@
+"""Command-line interface: ``python -m repro.faults``.
+
+Plan tooling for the fault-injection subsystem:
+
+* ``validate plan.json`` — parse and schema-check a plan file (exit 1
+  with the :class:`~repro.errors.FaultError` message on a bad plan);
+* ``describe plan.json`` — human-readable summary of every scheduled
+  fault plus the plan's content hash and retry policy;
+* ``sample plan.json --nranks N [--ppn P] [--seed S]`` — realise the
+  plan for a concrete layout and print the per-rank arrival delays and
+  active windows, i.e. exactly what a job with that seed would see;
+* ``example [kind]`` — emit a ready-to-edit example plan (all kinds, or
+  one).
+
+The sample layout maps rank ``r`` to node ``r // ppn`` (block
+placement), matching :class:`~repro.machine.topology.Placement`.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.errors import FaultError
+from repro.faults.inject import FaultInjector
+from repro.faults.plan import FAULT_KINDS, FaultPlan
+
+__all__ = ["main"]
+
+_EXAMPLES = {
+    "straggler": {"kind": "straggler", "rank": 3, "factor": 4.0,
+                  "start": 0.0, "duration": 0.002},
+    "arrival-skew": {"kind": "arrival-skew", "magnitude": 2e-4,
+                     "pattern": "exponential"},
+    "link-degrade": {"kind": "link-degrade", "src": 0, "dst": 1,
+                     "latency_factor": 3.0, "bandwidth_factor": 0.5,
+                     "start": 0.0, "duration": 0.01},
+    "link-outage": {"kind": "link-outage", "src": 0, "dst": 1,
+                    "start": 0.0, "duration": 5e-5},
+    "node-slowdown": {"kind": "node-slowdown", "node": 1, "factor": 2.0,
+                      "start": 0.0, "duration": 0.005},
+}
+
+
+def _load(path: str) -> FaultPlan:
+    try:
+        return FaultPlan.load(path)
+    except FileNotFoundError:
+        raise SystemExit(f"no such plan file: {path}")
+    except FaultError as e:
+        raise SystemExit(f"invalid fault plan {path}: {e}")
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    plan = _load(args.plan)
+    print(
+        f"ok: {args.plan} is a valid fault plan "
+        f"({len(plan)} fault(s), hash {plan.plan_hash()})"
+    )
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    print(_load(args.plan).describe())
+    return 0
+
+
+def _cmd_sample(args: argparse.Namespace) -> int:
+    plan = _load(args.plan)
+    if args.nranks <= 0:
+        raise SystemExit(f"--nranks must be positive, got {args.nranks}")
+    ppn = args.ppn or args.nranks
+    try:
+        injector = FaultInjector(
+            plan, args.nranks, lambda r: r // ppn, seed=args.seed
+        )
+    except FaultError as e:
+        raise SystemExit(f"cannot realise plan for this layout: {e}")
+    print(plan.describe())
+    print(
+        f"realised for nranks={args.nranks} ppn={ppn} seed={args.seed}:"
+    )
+    at = args.at
+    for rank in range(args.nranks):
+        node = rank // ppn
+        parts = [f"arrival +{injector.arrival_delay(rank):.3e}s"]
+        cf = injector.compute_factor(rank, at)
+        if cf != 1.0:
+            parts.append(f"compute x{cf:g} at t={at:g}")
+        print(f"  rank {rank:3d} (node {node}): " + ", ".join(parts))
+    if injector.has_link_faults:
+        nodes = args.nranks // ppn + (1 if args.nranks % ppn else 0)
+        for src in range(nodes):
+            for dst in range(nodes):
+                if src == dst:
+                    continue
+                lat, svc = injector.link_factors(src, dst, at)
+                blocked = injector.link_blocked_until(src, dst, at)
+                if lat != 1.0 or svc != 1.0 or blocked is not None:
+                    state = (
+                        f"DOWN until t={blocked:g}" if blocked is not None
+                        else f"latency x{lat:g}, service x{svc:g}"
+                    )
+                    print(f"  edge {src}->{dst} at t={at:g}: {state}")
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    if args.kind:
+        if args.kind not in _EXAMPLES:
+            raise SystemExit(
+                f"unknown fault kind {args.kind!r}; choose from "
+                f"{sorted(FAULT_KINDS)}"
+            )
+        faults = [_EXAMPLES[args.kind]]
+    else:
+        faults = [_EXAMPLES[kind] for kind in sorted(_EXAMPLES)]
+    plan = FaultPlan.from_dict({"faults": faults})
+    print(plan.to_json())
+    return 0
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-faults",
+        description="Validate, describe, and sample fault-injection plans.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="schema-check a plan file")
+    p.add_argument("plan", help="path to a fault plan JSON file")
+    p.set_defaults(func=_cmd_validate)
+
+    p = sub.add_parser("describe", help="summarise a plan file")
+    p.add_argument("plan", help="path to a fault plan JSON file")
+    p.set_defaults(func=_cmd_describe)
+
+    p = sub.add_parser(
+        "sample", help="realise a plan for a layout and print the schedule"
+    )
+    p.add_argument("plan", help="path to a fault plan JSON file")
+    p.add_argument("--nranks", type=int, required=True, help="job size")
+    p.add_argument(
+        "--ppn", type=int, default=None,
+        help="processes per node (default: all on one node)",
+    )
+    p.add_argument("--seed", type=int, default=0, help="realisation seed")
+    p.add_argument(
+        "--at", type=float, default=0.0,
+        help="simulated time at which to report active windows",
+    )
+    p.set_defaults(func=_cmd_sample)
+
+    p = sub.add_parser("example", help="emit an example plan JSON")
+    p.add_argument(
+        "kind", nargs="?", default=None,
+        help=f"one fault kind ({', '.join(sorted(FAULT_KINDS))}); "
+        "default: one of each",
+    )
+    p.set_defaults(func=_cmd_example)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

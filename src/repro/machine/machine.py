@@ -58,6 +58,10 @@ class Machine:
     noise:
         Optional :class:`~repro.machine.noise.NoiseModel` applying
         seeded multiplicative jitter to every charged service time.
+    faults:
+        Optional realised :class:`~repro.faults.inject.FaultInjector`
+        scaling compute/copy service inside scheduled fault windows
+        (link faults are consulted by the transport layer).
     """
 
     def __init__(
@@ -71,6 +75,7 @@ class Machine:
         trace: bool = False,
         timeline: Optional[Timeline] = None,
         noise: Optional[NoiseModel] = None,
+        faults=None,
     ):
         self.config = config
         self.sim = sim or Simulator()
@@ -80,6 +85,7 @@ class Machine:
         self.ppn = self.placement.ppn
         self.timeline = timeline
         self.noise = noise
+        self.faults = faults
 
         nodes = self.placement.nodes_used
         self.engine = [
@@ -103,23 +109,28 @@ class Machine:
         *,
         noise: Optional[NoiseModel] = None,
         timeline: Optional[Timeline] = None,
+        faults=None,
     ) -> "Machine":
         """Rewind to a pristine pre-job state, reusing the layout.
 
         Keeps the validated config, the placement map, and every queue
         object (the expensive part of construction) while rewinding the
         simulator clock, zeroing all queue horizons and the tracer, and
-        installing fresh per-run ``noise``/``timeline``.  A passed-in
-        noise model is rewound to its seed, so a run on a reset machine
-        is bit-identical to the same run on a freshly built one — the
-        determinism guarantee :class:`~repro.mpi.runtime.SimSession`
-        relies on.
+        installing fresh per-run ``noise``/``timeline``/``faults``.  A
+        passed-in noise model is rewound to its seed, and a passed-in
+        fault injector is re-realised from its seed with zeroed
+        counters, so a run on a reset machine is bit-identical to the
+        same run on a freshly built one — the determinism guarantee
+        :class:`~repro.mpi.runtime.SimSession` relies on.
         """
         self.sim.reset()
         self.tracer.reset()
         if noise is not None:
             noise.reset()
         self.noise = noise
+        if faults is not None:
+            faults.reset()
+        self.faults = faults
         self.timeline = timeline
         for queue in (*self.engine, *self.nic_tx, *self.nic_rx, *self.mem):
             queue.reset()
@@ -184,6 +195,9 @@ class Machine:
         """
         node_cfg = self.config.node
         busy = combines * nbytes * node_cfg.reduce_byte_time
+        faults = self.faults
+        if faults is not None and faults.has_compute_faults:
+            busy *= faults.compute_factor(rank, self.sim.now)
         self.tracer.charge("compute", busy, combines)
         if busy > 0:
             # Serialize on the rank's engine: one core cannot combine
@@ -210,6 +224,9 @@ class Machine:
             startup += node_cfg.intersocket_latency
             byte_time *= node_cfg.intersocket_byte_factor
         busy = self.perturb(startup + nbytes * byte_time)
+        faults = self.faults
+        if faults is not None and faults.has_copy_faults:
+            busy *= faults.copy_factor(rank, self.sim.now)
         self.tracer.charge("copy", busy)
         if self.timeline is not None and self.timeline.enabled:
             self.timeline.record(

@@ -43,5 +43,15 @@ class NoiseModel:
         """Restart the stream (same seed -> same run)."""
         self._rng = np.random.default_rng(self.seed)
 
+    def clone(self, seed: "int | None" = None) -> "NoiseModel":
+        """A fresh model with the same sigma and an independent stream.
+
+        With ``seed=None`` the clone reuses this model's seed (restarted
+        from the beginning — it does not inherit consumed state); pass a
+        different seed for a statistically independent replica, e.g. one
+        per sweep repeat.
+        """
+        return NoiseModel(self.sigma, self.seed if seed is None else seed)
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"NoiseModel(sigma={self.sigma}, seed={self.seed})"

@@ -33,6 +33,39 @@ __all__ = ["Runtime", "JobResult", "SimSession", "run_job"]
 RankFn = Callable[..., Generator]
 
 
+def _skewed_start(sim: Simulator, delay: float, gen: Generator) -> Generator:
+    """Delay a rank generator's start (ArrivalSkew realisation).
+
+    The wrapper is applied only to ranks with a positive delay, so
+    fault-free jobs (and on-time ranks inside faulted ones) schedule
+    exactly the same events as before — the deterministic kernel
+    counters gating the perf-smoke CI job stay untouched.
+    """
+    yield sim.timeout(delay)
+    value = yield from gen
+    return value
+
+
+def _as_injector(faults, machine: Machine, seed: int = 0):
+    """Normalise a ``faults=`` argument to a realised injector.
+
+    Accepts ``None``, a declarative
+    :class:`~repro.faults.plan.FaultPlan` (realised against the
+    machine's placement with ``seed``), or an already-realised
+    :class:`~repro.faults.inject.FaultInjector` (passed through, e.g. to
+    keep a handle on its counters).  Imported lazily so the runtime has
+    no hard dependency on :mod:`repro.faults`.
+    """
+    if faults is None:
+        return None
+    from repro.faults.inject import FaultInjector
+    from repro.faults.plan import FaultPlan
+
+    if isinstance(faults, FaultPlan):
+        return FaultInjector.for_machine(faults, machine, seed=seed)
+    return faults
+
+
 class Runtime:
     """MPI runtime for one job on one machine."""
 
@@ -214,6 +247,8 @@ class Runtime:
     ) -> "JobResult":
         """Run ``fn(comm, *args, **kwargs)`` on every rank to completion."""
         kwargs = kwargs or {}
+        faults = self.machine.faults
+        skewed = faults is not None and faults.has_arrival_skew
         procs = []
         for rank in range(self.machine.nranks):
             comm = self.world_comm(rank)
@@ -223,6 +258,10 @@ class Runtime:
                     f"rank function {getattr(fn, '__name__', fn)!r} must be a "
                     "generator (use 'yield from comm....' inside it)"
                 )
+            if skewed:
+                delay = faults.arrival_delay(rank)
+                if delay > 0.0:
+                    gen = _skewed_start(self.sim, delay, gen)
             procs.append(self.sim.process(gen, name=f"rank{rank}"))
         sanitizer = getattr(self.sim, "sanitizer", None)
         if sanitizer is not None:
@@ -237,13 +276,16 @@ class Runtime:
         if sanitizer is not None:
             sanitizer.finalize(self)  # strict mode raises on any report
             reports = list(sanitizer.reports)
+        counters = self.sim.counters()
+        if faults is not None:
+            counters["faults"] = faults.counters()
         return JobResult(
             values=[p.value for p in procs],
             elapsed=self.sim.now,
             machine=self.machine,
             tracer=self.machine.tracer,
             reports=reports,
-            counters=self.sim.counters(),
+            counters=counters,
         )
 
 
@@ -329,9 +371,20 @@ class SimSession:
             and ppn in (None, self.ppn)
         )
 
-    def reset(self, *, noise=None, timeline=None) -> Runtime:
-        """Fresh per-run state on the reused layout; returns the runtime."""
-        self.machine.reset(noise=noise, timeline=timeline)
+    def reset(
+        self, *, noise=None, timeline=None, faults=None, fault_seed: int = 0
+    ) -> Runtime:
+        """Fresh per-run state on the reused layout; returns the runtime.
+
+        ``faults`` accepts a declarative
+        :class:`~repro.faults.plan.FaultPlan` (realised against this
+        layout with ``fault_seed``) or an already-realised
+        :class:`~repro.faults.inject.FaultInjector`; either way the
+        injector is re-realised from its seed with zeroed counters, so
+        the reused session replays the faulted run bit-identically.
+        """
+        injector = _as_injector(faults, self.machine, fault_seed)
+        self.machine.reset(noise=noise, timeline=timeline, faults=injector)
         return self.runtime.reset()
 
     def run(
@@ -340,11 +393,15 @@ class SimSession:
         *,
         noise=None,
         timeline=None,
+        faults=None,
+        fault_seed: int = 0,
         args: Sequence = (),
         kwargs: Optional[dict] = None,
     ) -> JobResult:
         """Reset and launch ``fn`` — the session equivalent of :func:`run_job`."""
-        runtime = self.reset(noise=noise, timeline=timeline)
+        runtime = self.reset(
+            noise=noise, timeline=timeline, faults=faults, fault_seed=fault_seed
+        )
         result = runtime.launch(fn, args=args, kwargs=kwargs)
         self.runs += 1
         return result
@@ -365,6 +422,8 @@ def run_job(
     trace: bool = False,
     sim: Optional[Simulator] = None,
     sanitize: Union[bool, Any, None] = None,
+    faults=None,
+    fault_seed: int = 0,
     args: Sequence = (),
     kwargs: Optional[dict] = None,
 ) -> JobResult:
@@ -375,6 +434,12 @@ def run_job(
     :class:`~repro.check.sanitizer.Sanitizer` instance to keep a handle
     on the reports, ``False`` to force it off, and ``None`` (default) to
     consult the ``REPRO_SANITIZE`` environment variable.
+
+    ``faults`` injects scheduled faults for this job: a declarative
+    :class:`~repro.faults.plan.FaultPlan` (realised against the job
+    layout with ``fault_seed``) or a realised
+    :class:`~repro.faults.inject.FaultInjector`.  The injector's
+    counters land in ``JobResult.counters["faults"]``.
     """
     if isinstance(config_or_machine, Machine):
         machine = config_or_machine
@@ -394,5 +459,7 @@ def run_job(
 
             sim.sanitizer = as_sanitizer(sanitize)
         machine = Machine(config_or_machine, nranks, ppn, sim=sim, trace=trace)
+    if faults is not None:
+        machine.faults = _as_injector(faults, machine, fault_seed)
     runtime = Runtime(machine)
     return runtime.launch(fn, args=args, kwargs=kwargs)

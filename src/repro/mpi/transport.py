@@ -23,6 +23,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
+from repro.errors import MPIError
 from repro.machine.machine import Machine
 from repro.mpi.matching import ANY, EAGER, RTS, Envelope, Matcher
 from repro.mpi.request import Request
@@ -117,22 +118,46 @@ class Transport:
 
     # -- inter-node paths ---------------------------------------------------------
 
-    def _wire(self, src_node: int, dst_node: int, nbytes: int) -> Generator:
+    def _wire(
+        self, src_node: int, dst_node: int, nbytes: int, rank: int = 0
+    ) -> Generator:
         """Chunked NIC TX → fabric links → NIC RX pipeline for one message.
 
         Without a link-level topology the fabric is a pure
         ``wire_latency`` delay; with one, every chunk also queues on the
         routed uplink/downlink stages (cut-through at chunk
         granularity).
+
+        When the machine carries a fault injector with link faults,
+        entering the edge first waits out any active
+        :class:`~repro.faults.plan.LinkOutage` with the plan's capped
+        exponential backoff (raising
+        :class:`~repro.errors.MPIError` once retries exhaust, attributed
+        to ``rank``), and any active
+        :class:`~repro.faults.plan.LinkDegrade` scales the wire latency
+        and per-chunk service — sampled once per message at injection
+        time, so one message sees one consistent degradation level.
         """
         machine = self.machine
         sim = self.sim
         tx = machine.nic_tx[src_node]
         latency = machine.config.fabric.wire_latency
         fabric_stages = machine.fabric_stages(src_node, dst_node)
+        service_factor = 1.0
+        faults = machine.faults
+        if faults is not None and faults.has_link_faults:
+            if faults.has_link_outage:
+                yield from self._await_link(faults, rank, src_node, dst_node)
+            if faults.has_link_degrade:
+                latency_factor, service_factor = faults.link_factors(
+                    src_node, dst_node, sim.now
+                )
+                latency *= latency_factor
         rx_chunks = []
         for chunk in machine.nic_chunks(nbytes):
             service = machine.nic_service(chunk)
+            if service_factor != 1.0:
+                service *= service_factor
             yield tx.submit(service)
             rx_chunks.append(
                 sim.process(
@@ -140,6 +165,40 @@ class Transport:
                 )
             )
         yield sim.all_of(rx_chunks)
+
+    def _await_link(
+        self, faults, rank: int, src_node: int, dst_node: int
+    ) -> Generator:
+        """Spin on an outaged edge with capped exponential backoff.
+
+        Each failed attempt is counted against ``rank`` (surfaced in
+        ``JobResult.counters["faults"]``); once ``retry_limit`` retries
+        are spent while the edge is still down, the exhaustion is
+        recorded with the sanitizer (when one is attached) and
+        :class:`~repro.errors.MPIError` aborts the send.
+        """
+        sim = self.sim
+        attempts = 0
+        while True:
+            blocked = faults.link_blocked_until(src_node, dst_node, sim.now)
+            if blocked is None:
+                return
+            if attempts >= faults.retry_limit:
+                faults.count_exhausted(rank)
+                sanitizer = sim.sanitizer
+                if sanitizer is not None:
+                    sanitizer.fault_retries_exhausted(
+                        rank, src_node, dst_node, attempts, sim.now,
+                        blocked_until=blocked,
+                    )
+                raise MPIError(
+                    f"rank {rank}: send over link {src_node}->{dst_node} "
+                    f"still failing after {attempts} retry(ies); link down "
+                    f"until t={blocked:g}"
+                )
+            faults.count_retry(rank)
+            yield sim.timeout(faults.backoff(attempts))
+            attempts += 1
 
     def _chunk_path(
         self, dst_node: int, chunk: int, nic_service: float, latency: float,
@@ -158,7 +217,9 @@ class Transport:
         yield machine.engine_submit(src, service, "net-send")
         machine.tracer.charge("net-send", service)
         req.complete()
-        yield from self._wire(machine.node_of(src), machine.node_of(dst), nbytes)
+        yield from self._wire(
+            machine.node_of(src), machine.node_of(dst), nbytes, src
+        )
         env = Envelope(src, dst, tag, context, EAGER, payload, nbytes, seq)
         self.matchers[dst].arrive(env)
 
@@ -169,7 +230,7 @@ class Transport:
         env = Envelope(src, dst, tag, context, RTS, None, nbytes, seq, rndv=rndv)
         # RTS control message (zero bytes) travels the ordered stream.
         yield machine.engine_submit(src, machine.injection_service(0), "net-ctrl")
-        yield from self._wire(machine.node_of(src), machine.node_of(dst), 0)
+        yield from self._wire(machine.node_of(src), machine.node_of(dst), 0, src)
         self.matchers[dst].arrive(env)
         # Wait for the receiver's clear-to-send.
         yield rndv.cts
@@ -177,7 +238,9 @@ class Transport:
         yield machine.engine_submit(src, service, "net-send")
         machine.tracer.charge("net-send", service)
         req.complete()
-        yield from self._wire(machine.node_of(src), machine.node_of(dst), nbytes)
+        yield from self._wire(
+            machine.node_of(src), machine.node_of(dst), nbytes, src
+        )
         rndv.data_done.succeed(payload)
 
     def _finish_eager_recv(self, rank: int, env: Envelope, req: Request) -> Generator:
@@ -206,7 +269,9 @@ class Transport:
         else:
             # CTS control message back to the sender.
             yield machine.engine_submit(rank, machine.injection_service(0), "net-ctrl")
-            yield from self._wire(machine.node_of(rank), machine.node_of(env.src), 0)
+            yield from self._wire(
+                machine.node_of(rank), machine.node_of(env.src), 0, rank
+            )
             rndv.cts.succeed()
             payload = yield rndv.data_done
             yield machine.engine_submit(

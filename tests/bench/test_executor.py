@@ -128,3 +128,66 @@ class TestSelection:
         monkeypatch.setenv("REPRO_BENCH_JOBS", "nope")
         with pytest.raises(ReproError, match="REPRO_BENCH_JOBS"):
             default_executor()
+
+
+class TestSessionReplay:
+    """Session reuse replays stochastic runs bit-identically.
+
+    The executor-equivalence guarantees above rest on this: a reused
+    :class:`~repro.mpi.runtime.SimSession` re-seeds the noise model and
+    the fault injector on every ``reset()``, so sharing one session (and
+    one ``NoiseModel``/``FaultInjector`` instance) across runs gives the
+    same results as building everything fresh each time.
+    """
+
+    @staticmethod
+    def _job(comm):
+        from repro.payload import SUM, SymbolicPayload
+
+        result = yield from comm.allreduce(
+            SymbolicPayload(256, 8), SUM, algorithm="dpml"
+        )
+        return (comm.now, result.count)
+
+    def test_reused_noise_and_faults_match_fresh_builds(self):
+        from repro.faults import ArrivalSkew, FaultInjector, FaultPlan
+        from repro.machine.clusters import cluster_b
+        from repro.machine.noise import NoiseModel
+        from repro.mpi.runtime import SimSession, run_job
+
+        plan = FaultPlan(
+            faults=(ArrivalSkew(magnitude=1e-4, pattern="random"),)
+        )
+        session = SimSession(cluster_b(2), 4, 2)
+        noise = NoiseModel(sigma=0.05, seed=11)
+        injector = FaultInjector.for_machine(plan, session.machine, seed=7)
+
+        reused = [
+            session.run(self._job, noise=noise, faults=injector)
+            for _ in range(3)
+        ]
+        # Same session, same stochastic model instances: every run
+        # replays bit-identically (values, elapsed, fault counters).
+        for job in reused[1:]:
+            assert job.values == reused[0].values
+            assert job.elapsed == reused[0].elapsed
+            assert job.counters["faults"] == reused[0].counters["faults"]
+
+        # ... and matches a from-scratch build with fresh instances.
+        from repro.machine.machine import Machine
+
+        machine = Machine(
+            cluster_b(2), 4, 2, noise=NoiseModel(sigma=0.05, seed=11)
+        )
+        machine.faults = FaultInjector.for_machine(plan, machine, seed=7)
+        fresh_job = run_job(machine, 4, self._job)
+        assert fresh_job.values == reused[0].values
+        assert fresh_job.elapsed == reused[0].elapsed
+
+    def test_reset_rewinds_noise_rng(self):
+        from repro.machine.noise import NoiseModel
+
+        noise = NoiseModel(sigma=0.1, seed=3)
+        first = [noise.perturb(1.0) for _ in range(5)]
+        noise.reset()
+        assert [noise.perturb(1.0) for _ in range(5)] == first

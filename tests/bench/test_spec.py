@@ -194,3 +194,59 @@ class TestNamedSweeps:
         assert spec.sizes == (1024,)
         assert spec.repeats == 2
         assert spec.sigma == 0.05
+
+
+class TestFaultsField:
+    """FaultPlan threading: serialisation, hashing, label, point flow."""
+
+    @staticmethod
+    def _plan():
+        from repro.faults import ArrivalSkew, FaultPlan, Straggler
+
+        return FaultPlan(
+            faults=(
+                Straggler(rank=0, factor=2.0),
+                ArrivalSkew(magnitude=1e-4, pattern="sorted"),
+            )
+        )
+
+    def test_fault_free_spec_dict_has_no_faults_key(self):
+        # Pre-subsystem spec hashes (EXPERIMENTS.md) must stay stable:
+        # the key only appears when a plan is set.
+        assert "faults" not in small_spec().to_dict()
+        assert "faults" not in small_spec().points()[0].to_dict()
+
+    def test_faulted_spec_round_trips(self):
+        spec = small_spec(faults=self._plan())
+        back = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert back == spec
+        assert back.spec_hash() == spec.spec_hash()
+
+    def test_plan_changes_spec_hash(self):
+        assert (
+            small_spec(faults=self._plan()).spec_hash()
+            != small_spec().spec_hash()
+        )
+
+    def test_plan_flows_into_every_point(self):
+        spec = small_spec(faults=self._plan())
+        for point in spec.iter_points():
+            assert point.faults == self._plan()
+
+    def test_point_round_trips_with_faults(self):
+        point = small_spec(faults=self._plan()).points()[0]
+        back = SamplePoint.from_dict(json.loads(json.dumps(point.to_dict())))
+        assert back == point
+
+    def test_label_names_the_plan(self):
+        point = small_spec(faults=self._plan()).points()[0]
+        assert self._plan().plan_hash() in point.label()
+        assert "faults" not in small_spec().points()[0].label()
+
+    def test_named_sweep_accepts_faults(self):
+        spec = named_sweep("fig5", sizes=[1024], faults=self._plan())
+        assert spec.faults == self._plan()
+        assert (
+            spec.spec_hash()
+            != named_sweep("fig5", sizes=[1024]).spec_hash()
+        )

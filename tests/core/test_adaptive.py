@@ -106,3 +106,67 @@ class TestAdaptiveAllreduce:
             machine = Machine(cluster_b(4), 16, 4)
             candidates_t.append(max(Runtime(machine).launch(fn).values))
         assert adaptive_t <= max(candidates_t) * 1.05
+
+
+class TestAdaptiveUnderFaults:
+    """Adaptive's cost agreement must survive fault-skewed timings.
+
+    The selector's candidate costs are MAX-allreduced, so even when
+    ranks observe wildly different local timings (arrival skew pushes
+    late ranks' measurements around), every rank must record the same
+    agreed cost and lock the same winner.
+    """
+
+    def _skewed_job(self, pattern, magnitude=2e-4, seed=0):
+        from repro.faults import ArrivalSkew, FaultPlan
+
+        def fn(comm):
+            payload = SymbolicPayload(16384, 4)
+            for _ in range(len(DEFAULT_CANDIDATES)):
+                yield from comm.allreduce(payload, SUM, algorithm="adaptive")
+            key = next(k for k in comm.cache if k[0] == "adaptive")
+            state = comm.cache[key]
+            return (state.locked, tuple(state.agreed_costs))
+
+        plan = FaultPlan(
+            faults=(ArrivalSkew(magnitude=magnitude, pattern=pattern),)
+        )
+        return run_job(
+            cluster_b(4), 16, fn, ppn=4, faults=plan, fault_seed=seed,
+        )
+
+    @pytest.mark.parametrize(
+        "pattern", ["sorted", "reverse", "random", "exponential", "single"]
+    )
+    def test_same_winner_locked_on_all_ranks(self, pattern):
+        job = self._skewed_job(pattern)
+        locked = {v[0] for v in job.values}
+        assert len(locked) == 1
+        assert None not in locked
+
+    def test_agreed_costs_identical_across_ranks(self):
+        job = self._skewed_job("random", seed=3)
+        costs = {v[1] for v in job.values}
+        assert len(costs) == 1  # MAX-allreduce agreement held
+
+    def test_results_stay_correct_under_skew(self):
+        from repro.faults import ArrivalSkew, FaultPlan
+
+        calls = len(DEFAULT_CANDIDATES) + 2
+
+        def fn(comm):
+            outs = []
+            for i in range(calls):
+                data = make_payload(8, data=np.full(8, float(comm.rank + i)))
+                result = yield from comm.allreduce(
+                    data, SUM, algorithm="adaptive"
+                )
+                outs.append(result.array[0])
+            return outs
+
+        plan = FaultPlan(
+            faults=(ArrivalSkew(magnitude=5e-4, pattern="exponential"),)
+        )
+        job = run_job(cluster_b(4), 16, fn, ppn=4, faults=plan, fault_seed=1)
+        for v in job.values:
+            assert v == [sum(range(16)) + 16.0 * i for i in range(calls)]

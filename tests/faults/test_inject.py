@@ -1,0 +1,260 @@
+"""FaultInjector realisation: determinism, windows, counters, reset."""
+
+import math
+
+import pytest
+
+from repro.errors import FaultError
+from repro.faults import (
+    ArrivalSkew,
+    FaultInjector,
+    FaultPlan,
+    LinkDegrade,
+    LinkOutage,
+    NodeSlowdown,
+    Straggler,
+)
+
+
+def node_of_ppn(ppn):
+    return lambda rank: rank // ppn
+
+
+def realise(plan, nranks=8, ppn=4, seed=0):
+    return FaultInjector(plan, nranks, node_of_ppn(ppn), seed=seed)
+
+
+class TestRealisation:
+    def test_same_plan_seed_same_schedule(self):
+        plan = FaultPlan(
+            faults=(ArrivalSkew(magnitude=1e-4, pattern="random"),)
+        )
+        a, b = realise(plan, seed=5), realise(plan, seed=5)
+        assert [a.arrival_delay(r) for r in range(8)] == [
+            b.arrival_delay(r) for r in range(8)
+        ]
+
+    def test_different_seeds_differ(self):
+        plan = FaultPlan(
+            faults=(ArrivalSkew(magnitude=1e-4, pattern="exponential"),)
+        )
+        a, b = realise(plan, seed=1), realise(plan, seed=2)
+        assert [a.arrival_delay(r) for r in range(8)] != [
+            b.arrival_delay(r) for r in range(8)
+        ]
+
+    def test_sorted_pattern_is_linear_ramp(self):
+        inj = realise(
+            FaultPlan(faults=(ArrivalSkew(magnitude=7e-4, pattern="sorted"),))
+        )
+        delays = [inj.arrival_delay(r) for r in range(8)]
+        assert delays[0] == 0.0
+        assert delays[-1] == pytest.approx(7e-4)
+        assert delays == sorted(delays)
+
+    def test_reverse_pattern_mirrors_sorted(self):
+        mk = lambda pat: realise(
+            FaultPlan(faults=(ArrivalSkew(magnitude=7e-4, pattern=pat),))
+        )
+        fwd = [mk("sorted").arrival_delay(r) for r in range(8)]
+        rev = [mk("reverse").arrival_delay(r) for r in range(8)]
+        assert rev == fwd[::-1]
+
+    def test_single_pattern_defaults_to_last_rank(self):
+        inj = realise(
+            FaultPlan(faults=(ArrivalSkew(magnitude=3e-4, pattern="single"),))
+        )
+        delays = [inj.arrival_delay(r) for r in range(8)]
+        assert delays == [0.0] * 7 + [3e-4]
+
+    def test_single_pattern_with_explicit_rank(self):
+        inj = realise(
+            FaultPlan(
+                faults=(
+                    ArrivalSkew(magnitude=3e-4, pattern="single", rank=2),
+                )
+            )
+        )
+        assert inj.arrival_delay(2) == 3e-4
+        assert inj.arrival_delay(7) == 0.0
+
+    def test_multiple_skews_sum(self):
+        inj = realise(
+            FaultPlan(
+                faults=(
+                    ArrivalSkew(magnitude=1e-4, pattern="single"),
+                    ArrivalSkew(magnitude=2e-4, pattern="single"),
+                )
+            )
+        )
+        assert inj.arrival_delay(7) == pytest.approx(3e-4)
+
+    def test_zero_magnitude_draws_nothing(self):
+        # A zero-magnitude random skew must not consume the RNG stream,
+        # so adding it leaves a following stochastic fault unchanged.
+        tail = ArrivalSkew(magnitude=1e-4, pattern="random")
+        plain = realise(FaultPlan(faults=(tail,)), seed=9)
+        padded = realise(
+            FaultPlan(
+                faults=(ArrivalSkew(magnitude=0.0, pattern="random"), tail)
+            ),
+            seed=9,
+        )
+        assert [plain.arrival_delay(r) for r in range(8)] == [
+            padded.arrival_delay(r) for r in range(8)
+        ]
+
+    def test_plan_referencing_missing_rank_rejected(self):
+        plan = FaultPlan(faults=(Straggler(rank=64, factor=2.0),))
+        with pytest.raises(FaultError, match="rank 64"):
+            realise(plan, nranks=8)
+
+    def test_plan_referencing_missing_node_rejected(self):
+        plan = FaultPlan(faults=(NodeSlowdown(node=9, factor=2.0),))
+        with pytest.raises(FaultError, match="node 9"):
+            realise(plan, nranks=8, ppn=4)
+
+    def test_nonpositive_nranks_rejected(self):
+        with pytest.raises(FaultError):
+            FaultInjector(FaultPlan(), 0, lambda r: 0)
+
+
+class TestWindows:
+    def test_straggler_window(self):
+        inj = realise(
+            FaultPlan(
+                faults=(Straggler(rank=1, factor=4.0, start=1e-3,
+                                  duration=1e-3),)
+            )
+        )
+        assert inj.compute_factor(1, 0.0) == 1.0  # before
+        assert inj.compute_factor(1, 1.5e-3) == 4.0  # inside
+        assert inj.compute_factor(1, 2e-3) == 1.0  # half-open end
+        assert inj.compute_factor(0, 1.5e-3) == 1.0  # other rank
+
+    def test_open_ended_straggler(self):
+        inj = realise(
+            FaultPlan(faults=(Straggler(rank=0, factor=2.0),))
+        )
+        assert inj.compute_factor(0, 1e9) == 2.0
+
+    def test_node_slowdown_hits_compute_and_copy(self):
+        inj = realise(
+            FaultPlan(faults=(NodeSlowdown(node=1, factor=3.0),)), ppn=4
+        )
+        for rank in range(4, 8):  # node 1
+            assert inj.compute_factor(rank, 0.0) == 3.0
+            assert inj.copy_factor(rank, 0.0) == 3.0
+        for rank in range(4):  # node 0
+            assert inj.compute_factor(rank, 0.0) == 1.0
+            assert inj.copy_factor(rank, 0.0) == 1.0
+
+    def test_straggler_and_node_slowdown_compose(self):
+        inj = realise(
+            FaultPlan(
+                faults=(
+                    Straggler(rank=0, factor=2.0),
+                    NodeSlowdown(node=0, factor=3.0),
+                )
+            ),
+            ppn=4,
+        )
+        assert inj.compute_factor(0, 0.0) == 6.0
+        assert inj.copy_factor(0, 0.0) == 3.0
+
+    def test_link_degrade_directed_and_windowed(self):
+        inj = realise(
+            FaultPlan(
+                faults=(
+                    LinkDegrade(src=0, dst=1, latency_factor=2.0,
+                                bandwidth_factor=0.5, start=0.0,
+                                duration=1e-3),
+                )
+            )
+        )
+        assert inj.link_factors(0, 1, 0.0) == (2.0, 2.0)
+        assert inj.link_factors(1, 0, 0.0) == (1.0, 1.0)  # directed
+        assert inj.link_factors(0, 1, 2e-3) == (1.0, 1.0)  # expired
+
+    def test_link_degrade_wildcards(self):
+        inj = realise(
+            FaultPlan(faults=(LinkDegrade(dst=1, latency_factor=3.0),))
+        )
+        assert inj.link_factors(0, 1, 0.0) == (3.0, 1.0)
+        assert inj.link_factors(1, 0, 0.0) == (1.0, 1.0)
+
+    def test_outage_window_and_permanence(self):
+        inj = realise(
+            FaultPlan(
+                faults=(
+                    LinkOutage(src=0, dst=1, start=0.0, duration=5e-5),
+                    LinkOutage(src=1, dst=0),
+                )
+            )
+        )
+        assert inj.link_blocked_until(0, 1, 0.0) == 5e-5
+        assert inj.link_blocked_until(0, 1, 6e-5) is None  # healed
+        assert inj.link_blocked_until(1, 0, 1e9) == math.inf  # permanent
+
+    def test_fast_path_flags(self):
+        inj = realise(FaultPlan())
+        assert not inj.has_compute_faults
+        assert not inj.has_link_faults
+        assert not inj.has_arrival_skew
+        full = realise(
+            FaultPlan(
+                faults=(
+                    Straggler(rank=0, factor=2.0),
+                    ArrivalSkew(magnitude=1e-5),
+                    LinkOutage(src=0, dst=1, duration=1e-5),
+                )
+            )
+        )
+        assert full.has_compute_faults
+        assert full.has_link_outage and full.has_link_faults
+        assert full.has_arrival_skew
+        assert not full.has_link_degrade
+
+
+class TestCountersAndReset:
+    def test_backoff_is_capped_exponential(self):
+        plan = FaultPlan(retry_limit=8, backoff_base=1e-6, backoff_cap=1e-5)
+        inj = realise(plan)
+        assert inj.backoff(0) == 1e-6
+        assert inj.backoff(1) == 2e-6
+        assert inj.backoff(7) == 1e-5  # capped
+
+    def test_counters_snapshot(self):
+        inj = realise(
+            FaultPlan(faults=(ArrivalSkew(magnitude=1e-4, pattern="random"),))
+        )
+        inj.count_retry(3)
+        inj.count_retry(3)
+        inj.count_exhausted(5)
+        c = inj.counters()
+        assert c["retries"][3] == 2 and sum(c["retries"]) == 2
+        assert c["exhausted"][5] == 1
+        assert c["plan"] == inj.plan.plan_hash()
+        assert len(c["arrival_delays"]) == 8
+
+    def test_reset_rezeroes_and_rerealises(self):
+        inj = realise(
+            FaultPlan(faults=(ArrivalSkew(magnitude=1e-4, pattern="random"),)),
+            seed=4,
+        )
+        before = [inj.arrival_delay(r) for r in range(8)]
+        inj.count_retry(0)
+        inj.reset()
+        assert sum(inj.counters()["retries"]) == 0
+        assert [inj.arrival_delay(r) for r in range(8)] == before
+
+    def test_for_machine_uses_placement(self):
+        from repro.machine.clusters import cluster_b
+        from repro.machine.machine import Machine
+
+        machine = Machine(cluster_b(2), 8, 4)
+        inj = FaultInjector.for_machine(
+            FaultPlan(faults=(NodeSlowdown(node=1, factor=2.0),)), machine
+        )
+        assert inj.compute_factor(7, 0.0) == 2.0  # rank 7 lives on node 1
+        assert inj.compute_factor(0, 0.0) == 1.0

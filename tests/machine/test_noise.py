@@ -45,6 +45,46 @@ class TestNoiseModel:
         samples = np.array([nm.perturb(1.0) for _ in range(4000)])
         assert np.median(samples) == pytest.approx(1.0, rel=0.02)
 
+    def test_zero_sigma_does_not_consume_rng(self):
+        # The sigma == 0 fast path must not draw: a model that spent a
+        # while at zero sigma still replays the same stream afterwards.
+        nm = NoiseModel(sigma=0.1, seed=5)
+        reference = [nm.perturb(1.0) for _ in range(3)]
+        nm.reset()
+        nm.sigma = 0.0
+        for _ in range(10):
+            nm.perturb(1.0)
+        nm.sigma = 0.1
+        assert [nm.perturb(1.0) for _ in range(3)] == reference
+
+    def test_nonpositive_service_passes_through(self):
+        # Queues use sentinel / zero-length charges; jitter must not
+        # touch them (a lognormal multiple of a negative time would
+        # silently corrupt horizons).
+        nm = NoiseModel(sigma=0.3, seed=0)
+        assert nm.perturb(0.0) == 0.0
+        assert nm.perturb(-1.0) == -1.0
+        reference = NoiseModel(sigma=0.3, seed=0).perturb(1.0)
+        assert nm.perturb(1.0) == reference  # and drew nothing
+
+    def test_clone_restarts_same_seed(self):
+        nm = NoiseModel(sigma=0.1, seed=9)
+        consumed = [nm.perturb(1.0) for _ in range(4)]
+        twin = nm.clone()
+        # The clone starts from the seed, not from the consumed state.
+        assert [twin.perturb(1.0) for _ in range(4)] == consumed
+        assert twin.sigma == nm.sigma and twin.seed == nm.seed
+
+    def test_clones_with_distinct_seeds_are_independent(self):
+        base = NoiseModel(sigma=0.1, seed=0)
+        streams = [
+            [base.clone(seed=s).perturb(1.0) for _ in range(4)]
+            for s in (1, 2, 3)
+        ]
+        assert len({tuple(s) for s in streams}) == 3
+        # ... and cloning never disturbs the parent's own stream.
+        assert base.perturb(1.0) == NoiseModel(sigma=0.1, seed=0).perturb(1.0)
+
 
 class TestNoisyRuns:
     def test_noisy_run_is_reproducible(self):
