@@ -17,8 +17,11 @@ Commands
 ``autotune --cluster c [--ppn 28]``
     Regenerate the DPML tuning table for one cluster preset.
 ``perf [scenario] [--gate] [--baseline BENCH_PERF.json] [--output out.json]``
-    Run the perf-regression suite (compat vs fast mode on figure-shaped
-    scenarios); see :mod:`repro.bench.perf`.
+    Run the perf-regression suite: compat vs fast mode on figure-shaped
+    scenarios, plus hybrid-fidelity scale scenarios at 10k-100k ranks
+    (``scale10k``/``scale50k``/``scale100k``).  ``--canonical-output``
+    writes the deterministic portion as byte-stable canonical JSON; see
+    :mod:`repro.bench.perf`.
 """
 
 from __future__ import annotations
@@ -118,6 +121,7 @@ def _run_sweep(args) -> int:
             sigma=args.sigma,
             base_seed=args.seed,
             faults=faults,
+            fidelity=args.fidelity,
         )
         executor = get_executor(args.jobs)
     except ReproError as e:
@@ -223,6 +227,16 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--canonical", action="store_true",
         help="write 'run' JSON without volatile metadata (diff-friendly)",
+    )
+    parser.add_argument(
+        "--fidelity", default="exact", choices=("exact", "hybrid"),
+        help="collective execution fidelity for 'run' sweeps (hybrid "
+        "macro-charges validated collectives through the cost model)",
+    )
+    parser.add_argument(
+        "--canonical-output", default=None, metavar="PATH", dest="canonical_output",
+        help="for 'perf': also write the deterministic portion of the "
+        "report as canonical JSON (byte-stable across identical runs)",
     )
     parser.add_argument(
         "--sanitize", action="store_true",

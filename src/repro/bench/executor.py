@@ -62,7 +62,9 @@ def _session_for(point: SamplePoint) -> Optional[SimSession]:
     """
     try:
         config = point.config()
-        return SimSession(config, point.nranks, point.ppn)
+        return SimSession(
+            config, point.nranks, point.ppn, fidelity=point.fidelity
+        )
     except Exception:  # noqa: BLE001
         return None
 

@@ -52,9 +52,15 @@ def allreduce_latency(
     session: Optional[SimSession] = None,
     faults=None,
     fault_seed: int = 0,
+    fidelity: Optional[str] = None,
     **alg_kwargs,
 ) -> float:
     """Average per-call allreduce latency (seconds).
+
+    ``fidelity`` selects the collective execution mode (``"exact"`` |
+    ``"hybrid"``; ``None`` consults ``REPRO_FIDELITY``).  With a
+    ``session``, its fidelity must agree — a runtime's fidelity is
+    fixed at construction.
 
     ``nbytes`` is the message size; the element count is
     ``nbytes / 4`` (MPI_FLOAT), minimum one element.
@@ -112,6 +118,11 @@ def allreduce_latency(
                 f"session layout {session.key} does not match the requested "
                 f"point ({config.name!r}, nranks={nranks}, ppn={ppn})"
             )
+        if fidelity is not None and session.fidelity != fidelity:
+            raise ReproError(
+                f"session fidelity {session.fidelity!r} does not match the "
+                f"requested {fidelity!r}"
+            )
         job = session.run(
             bench, noise=noise, timeline=timeline,
             faults=faults, fault_seed=fault_seed,
@@ -124,7 +135,7 @@ def allreduce_latency(
             from repro.mpi.runtime import _as_injector
 
             machine.faults = _as_injector(faults, machine, fault_seed)
-        job = Runtime(machine).launch(bench)
+        job = Runtime(machine, fidelity=fidelity).launch(bench)
     # The slowest rank's window is the collective's completion latency
     # (matches how OSU reports max across ranks at scale).
     return float(max(job.values))

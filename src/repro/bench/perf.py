@@ -25,12 +25,28 @@ the event pools start cold and the counters are reproducible run to
 run (pools survive ``reset()``, so reusing a session would make
 ``events_allocated`` depend on history).
 
+Alongside the figure-shaped grids, the **scale scenarios**
+(``scale10k``/``scale50k``/``scale100k``) exercise the hybrid-fidelity
+path at datacenter rank counts on hypothetically-scaled clusters
+(:func:`~repro.machine.clusters.scaled_cluster`).  They run hybrid-only
+(the exact coroutine path at 10k+ ranks is exactly what hybrid exists
+to avoid), with symbolic payloads, and report ranks-simulated-per-
+second so the scaling trajectory is visible in CI logs.  Their gate is
+a wall-clock ceiling plus counter floors: every collective must have
+been macro-charged (``macro_events`` floor) and the kernel must not
+have regressed to per-message eventing (``events_allocated`` ceiling
+per rank).
+
 ``run_perf`` returns a plain dict; ``--output`` writes it as
 ``BENCH_PERF.json``.  ``--gate`` enforces the improvement floors on the
 fig5-shaped scenario (>= 3x fewer events allocated, >= 5x fewer payload
-bytes copied).  ``--baseline <path>`` diffs the deterministic portion
-(latencies, counters, ratios) against a committed baseline and fails on
-any drift — wall-clock fields are stripped before comparing.
+bytes copied) plus the scale ceilings above.  ``--baseline <path>``
+diffs the deterministic portion (latencies, counters, ratios) against a
+committed baseline and fails on any drift — wall-clock and throughput
+fields are stripped before comparing.  ``--canonical <path>`` writes
+that same stripped portion as canonical JSON (sorted keys, no
+whitespace), so two runs of a deterministic scenario can be compared
+byte-for-byte with ``cmp``.
 """
 
 from __future__ import annotations
@@ -41,7 +57,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.bench.harness import allreduce_latency
-from repro.machine.clusters import get_cluster
+from repro.machine.clusters import get_cluster, scaled_cluster
 from repro.mpi.runtime import SimSession
 from repro.payload.payload import (
     payload_counters,
@@ -51,7 +67,12 @@ from repro.payload.payload import (
 
 __all__ = [
     "PerfPoint",
+    "ScalePoint",
     "SCENARIOS",
+    "SCALE_SCENARIOS",
+    "SCALE_MAX_WALL",
+    "SCALE_MIN_MACRO_PER_POINT",
+    "SCALE_MAX_EVENTS_PER_RANK",
     "GATE_SCENARIO",
     "MIN_EVENTS_RATIO",
     "MIN_BYTES_COPIED_RATIO",
@@ -59,6 +80,7 @@ __all__ = [
     "gate_failures",
     "baseline_mismatches",
     "strip_volatile",
+    "canonical_json",
     "main",
 ]
 
@@ -113,6 +135,62 @@ SCENARIOS: dict[str, tuple[PerfPoint, ...]] = {
     ),
 }
 
+@dataclass(frozen=True)
+class ScalePoint:
+    """One hybrid-fidelity layout at datacenter rank counts.
+
+    Runs once, hybrid-only, with a symbolic payload: the point of the
+    scale tier is wall-clock and kernel-counter behaviour, and at
+    10k-100k ranks the float32 harness checksum overflows the mantissa
+    anyway (numeric bit-identity between fidelities is enforced at
+    tractable scale by the golden-determinism tests and the oracle
+    spot-check).
+    """
+
+    cluster: str
+    nodes: int
+    ppn: int
+    algorithm: str
+    nbytes: int
+    iterations: int = 1
+    warmup: int = 1
+
+    @property
+    def nranks(self) -> int:
+        return self.nodes * self.ppn
+
+    def label(self) -> str:
+        return (
+            f"{self.cluster}-x{self.nodes}/ppn{self.ppn}/"
+            f"{self.algorithm}/{self.nbytes}B/hybrid"
+        )
+
+
+#: Hybrid-fidelity scale tier: 10k ranks gates CI; 50k/100k track the
+#: trajectory two orders of magnitude past the exact kernel's ~450-rank
+#: comfort zone.
+SCALE_SCENARIOS: dict[str, tuple[ScalePoint, ...]] = {
+    "scale10k": (ScalePoint("b", nodes=1250, ppn=8, algorithm="dpml",
+                            nbytes=4096),),
+    "scale50k": (ScalePoint("b", nodes=6250, ppn=8, algorithm="dpml",
+                            nbytes=65536),),
+    "scale100k": (ScalePoint("b", nodes=12500, ppn=8,
+                             algorithm="dpml_pipelined", nbytes=65536),),
+}
+
+#: Wall-clock ceilings (seconds) per scale scenario.  Measured ~0.6s /
+#: ~6s / ~10s on a dev box; ceilings carry ~10x headroom for noisy CI
+#: runners while still catching an accidental fall-back to per-message
+#: eventing (which would be many minutes at these rank counts).
+SCALE_MAX_WALL = {"scale10k": 30.0, "scale50k": 120.0, "scale100k": 240.0}
+#: Every scale point issues warmup + timed allreduces plus one barrier;
+#: each must land as a macro charge.
+SCALE_MIN_MACRO_PER_POINT = 3
+#: Kernel-event ceiling per rank: the hybrid path needs ~1 event per
+#: rank per job (plus the macro gates); per-message eventing would be
+#: hundreds.
+SCALE_MAX_EVENTS_PER_RANK = 4.0
+
 _KERNEL_KEYS = (
     "events_allocated",
     "heap_pushes",
@@ -120,6 +198,7 @@ _KERNEL_KEYS = (
     "nowq_entries",
     "pool_reuses",
 )
+_SCALE_KERNEL_KEYS = _KERNEL_KEYS + ("macro_events", "pool_evictions")
 _PAYLOAD_KEYS = ("bytes_copied", "bytes_viewed", "bytes_reduced")
 
 
@@ -160,6 +239,41 @@ def _run_mode(point: PerfPoint, compat: bool) -> dict:
     }
 
 
+def _run_scale(point: ScalePoint) -> dict:
+    """One hybrid-fidelity measurement on a fresh scaled-cluster session."""
+    reset_payload_counters()
+    try:
+        config = scaled_cluster(point.cluster, point.nodes)
+        session = SimSession(
+            config, point.nranks, ppn=point.ppn, fidelity="hybrid"
+        )
+        t0 = time.perf_counter()
+        latency = allreduce_latency(
+            config,
+            point.algorithm,
+            point.nbytes,
+            ppn=point.ppn,
+            iterations=point.iterations,
+            warmup=point.warmup,
+            session=session,
+            fidelity="hybrid",
+        )
+        wall = time.perf_counter() - t0
+        kernel = session.machine.sim.counters()
+        payload = payload_counters()
+    finally:
+        reset_payload_counters()
+    return {
+        "point": point.label(),
+        "nranks": point.nranks,
+        "latency": latency,
+        "wall_seconds": wall,
+        "ranks_per_second": round(point.nranks / wall) if wall > 0 else None,
+        "kernel": {k: kernel[k] for k in _SCALE_KERNEL_KEYS},
+        "payload": {k: payload[k] for k in _PAYLOAD_KEYS},
+    }
+
+
 def _ratio(compat: int, fast: int) -> Optional[float]:
     if fast == 0:
         return None if compat == 0 else float("inf")
@@ -173,9 +287,21 @@ def run_perf(scenarios: Optional[list[str]] = None, progress=None) -> dict:
     differs between compat and fast mode — the optimisations must be
     invisible to simulated time.
     """
-    names = list(scenarios) if scenarios else list(SCENARIOS)
+    if scenarios:
+        names = list(scenarios)
+    else:
+        names = list(SCENARIOS) + list(SCALE_SCENARIOS)
     out: dict = {"schema": 1, "suite": "repro.bench.perf", "scenarios": {}}
     for name in names:
+        if name in SCALE_SCENARIOS:
+            records = []
+            for point in SCALE_SCENARIOS[name]:
+                record = _run_scale(point)
+                records.append(record)
+                if progress is not None:
+                    progress(name, point, record, None)
+            out["scenarios"][name] = {"mode": "hybrid-scale", "points": records}
+            continue
         points = SCENARIOS[name]
         records = []
         totals = {
@@ -230,23 +356,61 @@ def run_perf(scenarios: Optional[list[str]] = None, progress=None) -> dict:
 
 
 def gate_failures(report: dict) -> list[str]:
-    """Improvement-floor violations (empty list when the gate passes)."""
+    """Improvement-floor violations (empty list when the gate passes).
+
+    Checks whichever gated scenarios the report contains: the fig5
+    compat/fast ratio floors, and the scale-tier wall ceilings and
+    counter floors.  A report with neither is a configuration error.
+    """
+    failures: list[str] = []
+    present_scale = [
+        name for name in SCALE_SCENARIOS if name in report["scenarios"]
+    ]
     scenario = report["scenarios"].get(GATE_SCENARIO)
-    if scenario is None:
+    if scenario is None and not present_scale:
         return [f"gate scenario {GATE_SCENARIO!r} missing from report"]
-    failures = []
-    ratios = scenario["ratios"]
-    checks = (
-        ("events_allocated", MIN_EVENTS_RATIO),
-        ("bytes_copied", MIN_BYTES_COPIED_RATIO),
-    )
-    for key, floor in checks:
-        ratio = ratios.get(key)
-        if ratio is None or ratio < floor:
-            failures.append(
-                f"{GATE_SCENARIO}: {key} ratio {ratio} below floor {floor}"
-            )
+    if scenario is not None:
+        ratios = scenario["ratios"]
+        checks = (
+            ("events_allocated", MIN_EVENTS_RATIO),
+            ("bytes_copied", MIN_BYTES_COPIED_RATIO),
+        )
+        for key, floor in checks:
+            ratio = ratios.get(key)
+            if ratio is None or ratio < floor:
+                failures.append(
+                    f"{GATE_SCENARIO}: {key} ratio {ratio} below floor {floor}"
+                )
+    for name in present_scale:
+        ceiling = SCALE_MAX_WALL[name]
+        for record in report["scenarios"][name]["points"]:
+            label = record["point"]
+            wall = record["wall_seconds"]
+            if wall > ceiling:
+                failures.append(
+                    f"{name} {label}: wall {wall:.2f}s over "
+                    f"ceiling {ceiling}s"
+                )
+            macro = record["kernel"]["macro_events"]
+            if macro < SCALE_MIN_MACRO_PER_POINT:
+                failures.append(
+                    f"{name} {label}: macro_events {macro} below floor "
+                    f"{SCALE_MIN_MACRO_PER_POINT} — collectives are not "
+                    f"being macro-charged"
+                )
+            events = record["kernel"]["events_allocated"]
+            cap = SCALE_MAX_EVENTS_PER_RANK * record["nranks"]
+            if events > cap:
+                failures.append(
+                    f"{name} {label}: events_allocated {events} over "
+                    f"{SCALE_MAX_EVENTS_PER_RANK}/rank ceiling ({cap:.0f}) "
+                    f"— kernel regressed toward per-message eventing"
+                )
     return failures
+
+
+#: Host-timing fields: meaningful to humans, meaningless to diff.
+_VOLATILE_KEYS = frozenset({"wall_seconds", "ranks_per_second"})
 
 
 def strip_volatile(node):
@@ -255,11 +419,23 @@ def strip_volatile(node):
         return {
             k: strip_volatile(v)
             for k, v in node.items()
-            if k != "wall_seconds"
+            if k not in _VOLATILE_KEYS
         }
     if isinstance(node, list):
         return [strip_volatile(v) for v in node]
     return node
+
+
+def canonical_json(report: dict) -> str:
+    """The deterministic portion as byte-stable canonical JSON.
+
+    Two runs of the same deterministic scenario must produce identical
+    bytes — the CI hybrid-smoke job runs ``scale10k`` twice and ``cmp``s
+    the two files.
+    """
+    return json.dumps(
+        strip_volatile(report), sort_keys=True, separators=(",", ":")
+    ) + "\n"
 
 
 def baseline_mismatches(report: dict, baseline: dict) -> list[str]:
@@ -295,15 +471,27 @@ def main(args) -> int:
     import sys
 
     scenarios = [args.target] if args.target else None
-    if scenarios and scenarios[0] not in SCENARIOS:
+    known = {**SCENARIOS, **SCALE_SCENARIOS}
+    if scenarios and scenarios[0] not in known:
         print(
             f"unknown perf scenario {scenarios[0]!r}; "
-            f"available: {', '.join(SCENARIOS)}",
+            f"available: {', '.join(known)}",
             file=sys.stderr,
         )
         return 2
 
-    def progress(name, point, compat, fast):
+    def progress(name, point, first, second):
+        if second is None:
+            print(
+                f"  [{name}] {point.label()}: "
+                f"macro {first['kernel']['macro_events']}, "
+                f"events {first['kernel']['events_allocated']}, "
+                f"wall {first['wall_seconds']:.3f}s "
+                f"({first['ranks_per_second']} ranks/s)",
+                file=sys.stderr,
+            )
+            return
+        compat, fast = first, second
         print(
             f"  [{name}] {point.label()}: "
             f"events {compat['kernel']['events_allocated']}"
@@ -318,6 +506,14 @@ def main(args) -> int:
     report = run_perf(scenarios, progress=progress if args.progress else None)
 
     for name, scenario in report["scenarios"].items():
+        if scenario.get("mode") == "hybrid-scale":
+            for r in scenario["points"]:
+                print(
+                    f"{name}: {r['nranks']} ranks, latency {r['latency']:.3e}s, "
+                    f"wall {r['wall_seconds']:.2f}s, "
+                    f"{r['ranks_per_second']} ranks simulated/s"
+                )
+            continue
         ratios = scenario["ratios"]
         wall_compat = sum(
             r["compat"]["wall_seconds"] for r in scenario["points"]
@@ -338,10 +534,12 @@ def main(args) -> int:
                 print(f"GATE FAIL: {failure}", file=sys.stderr)
             status = 1
         else:
-            print(
-                f"gate ok: {GATE_SCENARIO} events >= {MIN_EVENTS_RATIO}x, "
-                f"bytes_copied >= {MIN_BYTES_COPIED_RATIO}x"
-            )
+            gated = [
+                name
+                for name in ([GATE_SCENARIO] + list(SCALE_SCENARIOS))
+                if name in report["scenarios"]
+            ]
+            print(f"gate ok: {', '.join(gated)}")
     if args.baseline:
         with open(args.baseline) as fh:
             baseline = json.load(fh)
@@ -361,4 +559,8 @@ def main(args) -> int:
             json.dump(report, fh, indent=2, sort_keys=True)
             fh.write("\n")
         print(f"wrote {args.output}")
+    if getattr(args, "canonical_output", None):
+        with open(args.canonical_output, "w") as fh:
+            fh.write(canonical_json(report))
+        print(f"wrote canonical {args.canonical_output}")
     return status

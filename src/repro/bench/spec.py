@@ -166,6 +166,9 @@ class SamplePoint:
     #: optional declarative fault plan; realised per run with this
     #: point's ``seed``, so repeats draw independent fault schedules
     faults: Optional[FaultPlan] = None
+    #: collective execution fidelity (``"exact"`` | ``"hybrid"``);
+    #: serialised and hashed only when non-default, like ``faults``
+    fidelity: str = "exact"
 
     @property
     def nranks(self) -> int:
@@ -174,8 +177,17 @@ class SamplePoint:
 
     @property
     def session_key(self) -> tuple:
-        """Layout identity — points with equal keys can share a session."""
-        return (self.cluster, self.nodes, self.ppn)
+        """Layout identity — points with equal keys can share a session.
+
+        Fidelity joins only when non-default: hybrid and exact points
+        must not share a session (the runtime's fidelity is fixed at
+        construction), while exact-only workloads keep the historical
+        3-tuple.
+        """
+        base = (self.cluster, self.nodes, self.ppn)
+        if self.fidelity != "exact":
+            return base + (self.fidelity,)
+        return base
 
     def config(self) -> MachineConfig:
         """The materialised cluster config."""
@@ -209,6 +221,7 @@ class SamplePoint:
             session=session,
             faults=self.faults,
             fault_seed=self.seed,
+            fidelity=self.fidelity,
             **self.alg_kwargs(),
         )
 
@@ -228,14 +241,16 @@ class SamplePoint:
             parts.append(f"r={self.repeat}")
         if self.faults is not None:
             parts.append(f"faults={self.faults.plan_hash()}")
+        if self.fidelity != "exact":
+            parts.append(self.fidelity)
         return " ".join(parts)
 
     def to_dict(self) -> dict:
         """JSON-ready dict.
 
-        The ``faults`` key appears only when a plan is set, so
-        fault-free points serialise (and hash) exactly as they did
-        before the subsystem existed.
+        The ``faults`` and ``fidelity`` keys appear only when
+        non-default, so exact-mode fault-free points serialise (and
+        hash) exactly as they did before those subsystems existed.
         """
         out = {
             "cluster": _cluster_to_json(self.cluster),
@@ -253,6 +268,8 @@ class SamplePoint:
         }
         if self.faults is not None:
             out["faults"] = self.faults.to_dict()
+        if self.fidelity != "exact":
+            out["fidelity"] = self.fidelity
         return out
 
     @classmethod
@@ -276,6 +293,7 @@ class SamplePoint:
                 if data.get("faults")
                 else None
             ),
+            fidelity=data.get("fidelity", "exact"),
         )
 
 
@@ -308,12 +326,18 @@ class SweepSpec:
     extra: tuple[tuple[str, Any], ...] = ()
     #: optional declarative fault plan applied to every point
     faults: Optional[FaultPlan] = None
+    #: collective execution fidelity applied to every point
+    #: (``"exact"`` | ``"hybrid"``); hashed only when non-default
+    fidelity: str = "exact"
 
     def __post_init__(self):
         object.__setattr__(self, "sizes", tuple(self.sizes))
         object.__setattr__(self, "algorithms", tuple(self.algorithms))
         object.__setattr__(self, "leader_counts", tuple(self.leader_counts))
         object.__setattr__(self, "extra", _freeze_kwargs(self.extra))
+        from repro.mpi.runtime import resolve_fidelity
+
+        resolve_fidelity(self.fidelity)  # reject unknown modes early
         if not self.sizes:
             raise ReproError(f"sweep {self.name!r} has no message sizes")
         if not self.algorithms:
@@ -352,6 +376,7 @@ class SweepSpec:
                             seed=self.base_seed + repeat,
                             extra=self.extra,
                             faults=self.faults,
+                            fidelity=self.fidelity,
                         )
 
     def points(self) -> tuple[SamplePoint, ...]:
@@ -376,9 +401,10 @@ class SweepSpec:
     def to_dict(self) -> dict:
         """JSON-ready dict.
 
-        The ``faults`` key appears only when a plan is set, keeping
-        fault-free spec hashes identical to their pre-subsystem values
-        (EXPERIMENTS.md entries stay stable).
+        The ``faults`` and ``fidelity`` keys appear only when
+        non-default, keeping exact-mode fault-free spec hashes
+        identical to their pre-subsystem values (EXPERIMENTS.md entries
+        stay stable).
         """
         out = {
             "name": self.name,
@@ -397,6 +423,8 @@ class SweepSpec:
         }
         if self.faults is not None:
             out["faults"] = self.faults.to_dict()
+        if self.fidelity != "exact":
+            out["fidelity"] = self.fidelity
         return out
 
     @classmethod
@@ -421,6 +449,7 @@ class SweepSpec:
                 if data.get("faults")
                 else None
             ),
+            fidelity=data.get("fidelity", "exact"),
         )
 
     def spec_hash(self) -> str:
@@ -632,6 +661,7 @@ def leader_sweep_spec(
     sigma: float = 0.0,
     base_seed: int = 0,
     faults: Optional[FaultPlan] = None,
+    fidelity: str = "exact",
 ) -> SweepSpec:
     """Figures 4-7 as a spec (paper-scale aware, like the regenerators)."""
     if which not in _LEADER_SWEEPS:
@@ -652,6 +682,7 @@ def leader_sweep_spec(
         sigma=sigma,
         base_seed=base_seed,
         faults=faults,
+        fidelity=fidelity,
     )
 
 
@@ -664,6 +695,7 @@ def algorithm_sweep_spec(
     sigma: float = 0.0,
     base_seed: int = 0,
     faults: Optional[FaultPlan] = None,
+    fidelity: str = "exact",
 ) -> SweepSpec:
     """Figures 8-10 as a spec (paper-scale aware, like the regenerators)."""
     if which not in _ALGORITHM_SWEEPS:
@@ -693,6 +725,7 @@ def algorithm_sweep_spec(
         sigma=sigma,
         base_seed=base_seed,
         faults=faults,
+        fidelity=fidelity,
     )
 
 

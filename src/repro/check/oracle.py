@@ -37,7 +37,14 @@ from repro.mpi.runtime import run_job
 from repro.payload.ops import SUM, ReduceOp
 from repro.payload.payload import DataPayload
 
-__all__ = ["OracleOutcome", "DEFAULT_BAND", "check_allreduce", "predictable"]
+__all__ = [
+    "OracleOutcome",
+    "SpotCheckOutcome",
+    "DEFAULT_BAND",
+    "check_allreduce",
+    "spot_check_hybrid",
+    "predictable",
+]
 
 #: Default acceptance band on simulated_time / predicted_time.  The
 #: measured ratios across the calibration grid (4 predictable
@@ -177,5 +184,191 @@ def check_allreduce(
         elapsed=job.elapsed,
         predicted=predicted,
         ratio=ratio,
+        reports=sanitizer.reports[n_before:],
+    )
+
+
+@dataclass
+class SpotCheckOutcome:
+    """Result of one hybrid-fidelity spot check."""
+
+    algorithm: str
+    nranks: int
+    ppn: int
+    count: int
+    hybrid_elapsed: float  #: simulated time of the macro-charged run
+    exact_elapsed: float  #: simulated time of the exact reference run
+    #: per-phase comparison rows: ``{phase, charged, exact, ratio, ok}``
+    #: (``exact``/``ratio`` are None for phases the probe could not
+    #: window; zero-cost phases are skipped)
+    phases: list = field(default_factory=list)
+    charged: bool = True  #: False when the run never macro-charged
+    reports: list = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when results matched and every phase stayed in band."""
+        return not self.reports
+
+    def to_dict(self) -> dict:
+        return {
+            "algorithm": self.algorithm,
+            "nranks": self.nranks,
+            "ppn": self.ppn,
+            "count": self.count,
+            "hybrid_elapsed": self.hybrid_elapsed,
+            "exact_elapsed": self.exact_elapsed,
+            "phases": list(self.phases),
+            "charged": self.charged,
+            "ok": self.ok,
+            "reports": [r.to_dict() for r in self.reports],
+        }
+
+
+def spot_check_hybrid(
+    config: MachineConfig,
+    algorithm: str,
+    *,
+    nranks: int,
+    ppn: int,
+    count: int,
+    op: ReduceOp = SUM,
+    leaders: Optional[int] = None,
+    seed: int = 0,
+    band: tuple[float, float] = DEFAULT_BAND,
+    sanitizer: Optional[Sanitizer] = None,
+) -> SpotCheckOutcome:
+    """Re-run a hybrid macro charge exactly and bound its drift.
+
+    Runs the same allreduce twice — once in hybrid fidelity (collecting
+    the simulator's :attr:`~repro.sim.engine.Simulator.macro_log`) and
+    once exactly with a :class:`~repro.core.phases.PhaseProbe` attached
+    — then checks that
+
+    * both fidelities return bit-identical result buffers
+      (``numeric-mismatch`` otherwise), and
+    * each charged phase's price lands within ``band`` of the exact
+      phase window (``phase-timing-divergence`` otherwise).  Phases
+      charged at zero cost (e.g. the intra-node reduce when every rank
+      is a leader) and phases the probe could not window are skipped.
+
+    This is the oracle that keeps hybrid mode honest: the exact
+    coroutine path stays the golden reference, and macro-charging must
+    continuously reprove itself against it on sampled configurations.
+    """
+    from repro.core.phases import PhaseProbe
+    from repro.mpi.runtime import SimSession
+
+    sanitizer = sanitizer if sanitizer is not None else Sanitizer(strict=False)
+    n_before = len(sanitizer.reports)
+    rng = np.random.default_rng(seed)
+    inputs = [
+        rng.integers(1, 9, count).astype(np.float64) for _ in range(nranks)
+    ]
+    kwargs = {"algorithm": algorithm}
+    if leaders is not None:
+        kwargs["leaders"] = leaders
+
+    def fn(comm):
+        me = DataPayload(inputs[comm.rank].copy())
+        out = yield from comm.allreduce(me, op, **kwargs)
+        return out.array
+
+    hybrid_job = run_job(config, nranks, fn, ppn=ppn, fidelity="hybrid")
+    macro_log = list(hybrid_job.machine.sim.macro_log)
+
+    probe = PhaseProbe()
+    session = SimSession(config, nranks, ppn)
+    session.runtime.phase_probe = probe
+    exact_job = session.run(fn)
+
+    for rank, (want, got) in enumerate(zip(exact_job.values, hybrid_job.values)):
+        if got is None or not np.array_equal(got, want):
+            sanitizer.record(
+                R.NUMERIC_MISMATCH,
+                f"{algorithm} allreduce p={nranks} ppn={ppn} n={count}: "
+                f"hybrid rank {rank} disagrees with the exact reference",
+                time=hybrid_job.elapsed,
+                algorithm=algorithm,
+                rank=rank,
+                nranks=nranks,
+                ppn=ppn,
+                count=count,
+            )
+            break
+
+    lo, hi = band
+    rows: list = []
+    for label, _start, _duration, phases in macro_log:
+        single = len(phases) == 1
+        for phase, charged in phases:
+            if charged <= 0.0:
+                continue  # nothing to bound
+            exact = (
+                exact_job.elapsed if single else probe.duration(algorithm, phase)
+            )
+            ratio = None
+            ok = True
+            if exact is not None and exact > 0.0:
+                ratio = exact / charged
+                ok = lo <= ratio <= hi
+                if not ok:
+                    sanitizer.record(
+                        R.PHASE_DIVERGENCE,
+                        f"{algorithm} phase {phase!r} p={nranks} ppn={ppn} "
+                        f"n={count}: exact {exact:.3e}s vs charged "
+                        f"{charged:.3e}s (ratio {ratio:.3g} outside "
+                        f"[{lo:g}, {hi:g}])",
+                        time=hybrid_job.elapsed,
+                        algorithm=algorithm,
+                        phase=phase,
+                        nranks=nranks,
+                        ppn=ppn,
+                        count=count,
+                        exact=exact,
+                        charged=charged,
+                        ratio=ratio,
+                        label=label,
+                    )
+            rows.append(
+                {
+                    "phase": phase,
+                    "charged": charged,
+                    "exact": exact,
+                    "ratio": ratio,
+                    "ok": ok,
+                }
+            )
+
+    # The whole-collective drift, bounded with the same band.
+    if macro_log and hybrid_job.elapsed > 0.0 and exact_job.elapsed > 0.0:
+        total_ratio = exact_job.elapsed / hybrid_job.elapsed
+        if not (lo <= total_ratio <= hi):
+            sanitizer.record(
+                R.PHASE_DIVERGENCE,
+                f"{algorithm} allreduce p={nranks} ppn={ppn} n={count}: "
+                f"exact total {exact_job.elapsed:.3e}s vs hybrid "
+                f"{hybrid_job.elapsed:.3e}s (ratio {total_ratio:.3g} "
+                f"outside [{lo:g}, {hi:g}])",
+                time=hybrid_job.elapsed,
+                algorithm=algorithm,
+                phase="total",
+                nranks=nranks,
+                ppn=ppn,
+                count=count,
+                exact=exact_job.elapsed,
+                charged=hybrid_job.elapsed,
+                ratio=total_ratio,
+            )
+
+    return SpotCheckOutcome(
+        algorithm=algorithm,
+        nranks=nranks,
+        ppn=ppn,
+        count=count,
+        hybrid_elapsed=hybrid_job.elapsed,
+        exact_elapsed=exact_job.elapsed,
+        phases=rows,
+        charged=bool(macro_log),
         reports=sanitizer.reports[n_before:],
     )

@@ -37,6 +37,7 @@ __all__ = [
     "RESOURCE_MISUSE",
     "NUMERIC_MISMATCH",
     "COST_DIVERGENCE",
+    "PHASE_DIVERGENCE",
     "FAULT_RETRIES_EXHAUSTED",
     "ALL_KINDS",
 ]
@@ -69,6 +70,7 @@ RESOURCE_MISUSE = "resource-misuse"  #: release without acquire, bad service
 # -- differential oracle -----------------------------------------------------
 NUMERIC_MISMATCH = "numeric-mismatch"  #: result differs from numpy reference
 COST_DIVERGENCE = "cost-model-divergence"  #: simulated time outside the band
+PHASE_DIVERGENCE = "phase-timing-divergence"  #: hybrid charge vs exact phase
 
 # -- fault injection ---------------------------------------------------------
 FAULT_RETRIES_EXHAUSTED = "fault-retries-exhausted"  #: outage outlived backoff
@@ -94,6 +96,7 @@ ALL_KINDS = (
     RESOURCE_MISUSE,
     NUMERIC_MISMATCH,
     COST_DIVERGENCE,
+    PHASE_DIVERGENCE,
     FAULT_RETRIES_EXHAUSTED,
 )
 

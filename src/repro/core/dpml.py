@@ -18,6 +18,17 @@ The four phases, exactly as in Figure 2:
    fully reduced partitions back out of shared memory and reassembles
    the result.
 
+Each phase is a named, independently-executable generator over a shared
+:class:`PhaseState` — :mod:`repro.core.pipelined` reuses phases 1, 2
+and 4 verbatim and swaps only the exchange — and the driver records
+per-phase simulated-time windows into the runtime's
+:class:`~repro.core.phases.PhaseProbe` (when one is attached) so the
+hybrid-fidelity spot-check oracle can compare the exact phases against
+their macro charges.  Phase windows are recorded on the ranks that
+*drive* the phase (all ranks for the copy-in, leaders for the rest):
+non-leaders spend phases 2-4 blocked on the leaders' publishes, so
+their wall-time windows would say nothing about the phase itself.
+
 Setting ``leaders=1`` recovers the classic MVAPICH2-style single-leader
 hierarchical algorithm (registered as ``"hierarchical"``).
 """
@@ -30,7 +41,128 @@ from repro.core.leaders import get_leader_plan
 from repro.payload.ops import ReduceOp
 from repro.payload.payload import Payload, reduce_payloads, split_bounds
 
-__all__ = ["allreduce_dpml", "allreduce_hierarchical"]
+__all__ = [
+    "PhaseState",
+    "allreduce_dpml",
+    "allreduce_hierarchical",
+    "phase_copy_in",
+    "phase_reduce",
+    "phase_exchange",
+    "phase_copy_out",
+]
+
+
+class PhaseState:
+    """Everything the DPML phase generators share for one collective."""
+
+    __slots__ = (
+        "comm",
+        "machine",
+        "plan",
+        "region",
+        "ctx",
+        "tag_base",
+        "op",
+        "parts",
+        "bounds",
+        "total",
+        "my_loc",
+        "ppn",
+        "ell",
+        "me",
+    )
+
+    def __init__(self, comm, payload: Payload, op: ReduceOp, tag_base: int, plan):
+        self.comm = comm
+        self.machine = comm.machine
+        self.plan = plan
+        self.region = comm.runtime.shm_region(plan.node)
+        self.ctx = comm.group.context
+        self.tag_base = tag_base
+        self.op = op
+        self.parts = payload.split(plan.leaders)
+        self.bounds = split_bounds(payload.count, plan.leaders)
+        self.total = payload.count
+        self.my_loc = self.machine.loc(comm.world_rank)
+        self.ppn = plan.ppn
+        self.ell = plan.leaders
+        self.me = comm.world_rank
+
+
+def phase_copy_in(st: PhaseState) -> Generator:
+    """Phase 1: deposit each partition into its leader's staging area.
+
+    Span annotations let the sanitizer check that the l partitions of
+    one depositor tile the vector without gaps or overlap.
+    """
+    machine = st.machine
+    for j in range(st.ell):
+        leader_world = st.comm.translate(st.plan.node_ranks[j])
+        cross = machine.loc(leader_world).socket != st.my_loc.socket
+        yield from machine.shm_copy(st.me, st.parts[j].nbytes, cross_socket=cross)
+        st.region.put(
+            (st.ctx, st.tag_base, "in", j, st.plan.local_index),
+            st.parts[j],
+            span=(
+                (st.ctx, st.tag_base, "in", st.plan.local_index),
+                *st.bounds[j],
+                st.total,
+            ),
+        )
+
+
+def phase_reduce(st: PhaseState) -> Generator:
+    """Phase 2 (leaders only): gather the ppn deposits and combine them."""
+    machine = st.machine
+    j = st.plan.leader_index
+    gathered = []
+    for i in range(st.ppn):
+        part = yield st.region.take((st.ctx, st.tag_base, "in", j, i))
+        gathered.append(part)
+    yield from machine.gather_sync(st.me, st.ppn)
+    part_bytes = gathered[0].nbytes
+    if st.ppn > 1:
+        yield from machine.compute(st.me, part_bytes, combines=st.ppn - 1)
+    return reduce_payloads(gathered, st.op)
+
+
+def phase_exchange(st: PhaseState, reduced, inter: str) -> Generator:
+    """Phase 3 (leaders only): inter-node allreduce among same-index
+    leaders, then publish the fully reduced partition for the locals.
+
+    The leaders' partitions share one frame: together they must tile
+    the result vector, so a leader publishing the wrong slice (or a
+    wrong-length sub-allreduce result) trips the sanitizer.
+    """
+    j = st.plan.leader_index
+    result_j = yield from st.plan.leader_comm.allreduce(
+        reduced, st.op, algorithm=inter
+    )
+    st.region.put(
+        (st.ctx, st.tag_base, "out", j),
+        result_j,
+        span=((st.ctx, st.tag_base, "out"), *st.bounds[j], st.total),
+    )
+
+
+def phase_copy_out(st: PhaseState) -> Generator:
+    """Phase 4: copy every partition back out and reassemble."""
+    machine = st.machine
+    outs = []
+    for j in range(st.ell):
+        leader_world = st.comm.translate(st.plan.node_ranks[j])
+        cross = machine.loc(leader_world).socket != st.my_loc.socket
+        result_j = yield st.region.read((st.ctx, st.tag_base, "out", j), readers=st.ppn)
+        yield from machine.shm_copy(st.me, result_j.nbytes, cross_socket=cross)
+        outs.append(result_j)
+    # Reassembly through the region memo: the ppn co-located readers
+    # share one materialization of the result vector.
+    return st.region.concat(outs)
+
+
+def _record(probe, algorithm: str, phase: str, start: float, end: float) -> None:
+    if probe is not None:
+        probe.record(algorithm, phase, start, end)
 
 
 def allreduce_dpml(
@@ -40,6 +172,7 @@ def allreduce_dpml(
     tag_base: int = 0,
     leaders: int = 4,
     inter_algorithm: Optional[str] = None,
+    _probe_name: str = "dpml",
 ) -> Generator:
     """DPML allreduce with ``leaders`` leaders per node.
 
@@ -47,6 +180,8 @@ def allreduce_dpml(
     (``None`` lets the library selector choose by message size).
     """
     machine = comm.machine
+    sim = comm.sim
+    probe = comm.runtime.phase_probe
     plan = yield from get_leader_plan(comm, leaders)
 
     if plan.n_nodes == comm.size:
@@ -54,74 +189,34 @@ def allreduce_dpml(
         # inter-node allreduce (every rank is its own leader 0).  The
         # fallback must be a *flat* algorithm — the general selector
         # could pick a hierarchical scheme and recurse forever.
+        start = sim.now
         result = yield from comm.allreduce(
             payload, op, algorithm=inter_algorithm or "flat_auto"
         )
+        _record(probe, _probe_name, "exchange", start, sim.now)
         return result
 
-    ell = plan.leaders
-    me = comm.world_rank
-    region = comm.runtime.shm_region(plan.node)
-    ctx = comm.group.context
-    parts = payload.split(ell)
-    bounds = split_bounds(payload.count, ell)
-    total = payload.count
-    my_loc = machine.loc(me)
-    ppn = plan.ppn
+    st = PhaseState(comm, payload, op, tag_base, plan)
 
-    # --- Phase 1: deposit each partition into its leader's staging area.
-    # Span annotations let the sanitizer check that the l partitions of
-    # one depositor tile the vector without gaps or overlap.
-    for j in range(ell):
-        leader_world = comm.translate(plan.node_ranks[j])
-        cross = machine.loc(leader_world).socket != my_loc.socket
-        yield from machine.shm_copy(me, parts[j].nbytes, cross_socket=cross)
-        region.put(
-            (ctx, tag_base, "in", j, plan.local_index),
-            parts[j],
-            span=((ctx, tag_base, "in", plan.local_index), *bounds[j], total),
-        )
+    start = sim.now
+    yield from phase_copy_in(st)
+    _record(probe, _probe_name, "copy_in", start, sim.now)
 
     if plan.is_leader:
-        j = plan.leader_index
-        # --- Phase 2: gather the ppn deposits and combine them.
-        gathered = []
-        for i in range(ppn):
-            part = yield region.take((ctx, tag_base, "in", j, i))
-            gathered.append(part)
-        yield from machine.gather_sync(me, ppn)
-        part_bytes = gathered[0].nbytes
-        if ppn > 1:
-            yield from machine.compute(me, part_bytes, combines=ppn - 1)
-        reduced = reduce_payloads(gathered, op)
+        start = sim.now
+        reduced = yield from phase_reduce(st)
+        _record(probe, _probe_name, "reduce", start, sim.now)
 
-        # --- Phase 3: inter-node allreduce among same-index leaders.
-        result_j = yield from plan.leader_comm.allreduce(
-            reduced, op, algorithm=inter_algorithm or "flat_auto"
-        )
+        start = sim.now
+        yield from phase_exchange(st, reduced, inter_algorithm or "flat_auto")
+        _record(probe, _probe_name, "exchange", start, sim.now)
 
-        # Publish the fully reduced partition for the local ranks.  The
-        # leaders' partitions share one frame: together they must tile
-        # the result vector, so a leader publishing the wrong slice (or
-        # a wrong-length sub-allreduce result) trips the sanitizer.
-        region.put(
-            (ctx, tag_base, "out", j),
-            result_j,
-            span=((ctx, tag_base, "out"), *bounds[j], total),
-        )
-
-    # --- Phase 4: copy every partition back out and reassemble.
     yield from machine.flag_sync()
-    outs = []
-    for j in range(ell):
-        leader_world = comm.translate(plan.node_ranks[j])
-        cross = machine.loc(leader_world).socket != my_loc.socket
-        result_j = yield region.read((ctx, tag_base, "out", j), readers=ppn)
-        yield from machine.shm_copy(me, result_j.nbytes, cross_socket=cross)
-        outs.append(result_j)
-    # Reassembly through the region memo: the ppn co-located readers
-    # share one materialization of the result vector.
-    return region.concat(outs)
+    start = sim.now
+    result = yield from phase_copy_out(st)
+    if plan.is_leader:
+        _record(probe, _probe_name, "copy_out", start, sim.now)
+    return result
 
 
 def allreduce_hierarchical(
@@ -134,6 +229,6 @@ def allreduce_hierarchical(
     """The traditional single-leader hierarchical allreduce (DPML, l=1)."""
     result = yield from allreduce_dpml(
         comm, payload, op, tag_base=tag_base, leaders=1,
-        inter_algorithm=inter_algorithm,
+        inter_algorithm=inter_algorithm, _probe_name="hierarchical",
     )
     return result

@@ -23,7 +23,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from repro.errors import ConfigError
+from repro.errors import ConfigError, UnknownAlgorithmError
 from repro.machine.config import MachineConfig
 
 __all__ = ["CostModel"]
@@ -128,10 +128,14 @@ class CostModel:
         ``recursive_doubling`` uses Eq. 1, the ``hierarchical``
         single-leader scheme is DPML with ``l = 1``, and ``dpml`` /
         ``dpml_pipelined`` use Eq. 7 with the given (or its default)
-        leader count clamped to ``p // h``.  Algorithms the model does
-        not describe (ring, SHArP offload, socket-aware multilevel,
-        reduce+bcast compositions, the library selectors) return None —
-        the differential oracle skips the cost check for those.
+        leader count clamped to ``p // h``.  Registered algorithms the
+        model does not describe (ring, SHArP offload, socket-aware
+        multilevel, reduce+bcast compositions, the library selectors)
+        return None — the differential oracle skips the cost check for
+        those.  A name that is not in the collective registry at all
+        raises :class:`~repro.errors.UnknownAlgorithmError`: hybrid
+        mode makes a silently unpriced phase a correctness bug, not a
+        plotting nit.
         """
         ppn = p // h
         if algorithm == "recursive_doubling":
@@ -141,6 +145,11 @@ class CostModel:
         elif algorithm in ("dpml", "dpml_pipelined"):
             l = min(l if l is not None else 4, ppn)
         else:
+            from repro.mpi.collectives.registry import available_algorithms
+
+            known = available_algorithms()
+            if algorithm not in known:
+                raise UnknownAlgorithmError(algorithm, known)
             return None
         if h >= p:
             # One rank per node: the intra-node phases degenerate and

@@ -12,17 +12,33 @@ comes from the overlap the non-blocking calls expose).
 ``k`` is "proportional to the message size and inversely related to the
 number of leaders": we take ``k = ceil(partition_bytes /
 pipeline_unit)`` capped at ``max_k``.
+
+Phases 1, 2 and 4 are plain DPML — literally: the named phase
+generators from :mod:`repro.core.dpml` run over the same
+:class:`~repro.core.dpml.PhaseState`; only the exchange differs
+(:func:`phase_exchange_pipelined`).
 """
 
 from __future__ import annotations
 
 from typing import Generator, Optional
 
+from repro.core.dpml import (
+    PhaseState,
+    _record,
+    phase_copy_in,
+    phase_copy_out,
+    phase_reduce,
+)
 from repro.core.leaders import get_leader_plan
 from repro.payload.ops import ReduceOp
-from repro.payload.payload import Payload, concat, reduce_payloads, split_bounds
+from repro.payload.payload import Payload, concat
 
-__all__ = ["allreduce_dpml_pipelined", "pipeline_depth"]
+__all__ = [
+    "allreduce_dpml_pipelined",
+    "phase_exchange_pipelined",
+    "pipeline_depth",
+]
 
 #: Default target size of one pipelined sub-partition (bytes).
 DEFAULT_PIPELINE_UNIT = 16384
@@ -42,6 +58,29 @@ def pipeline_depth(
     return max(1, min(k, max_k))
 
 
+def phase_exchange_pipelined(
+    st: PhaseState,
+    reduced,
+    inter: str,
+    pipeline_unit: int,
+    max_k: int,
+) -> Generator:
+    """Phase 3, pipelined: k outstanding sub-allreduces + waitall."""
+    j = st.plan.leader_index
+    k = pipeline_depth(reduced.nbytes, pipeline_unit, max_k)
+    subs = reduced.split(k)
+    requests = [
+        st.plan.leader_comm.iallreduce(sub, st.op, algorithm=inter)
+        for sub in subs
+    ]
+    results = yield from st.plan.leader_comm.waitall(requests)
+    st.region.put(
+        (st.ctx, st.tag_base, "out", j),
+        concat(results),
+        span=((st.ctx, st.tag_base, "out"), *st.bounds[j], st.total),
+    )
+
+
 def allreduce_dpml_pipelined(
     comm,
     payload: Payload,
@@ -54,71 +93,41 @@ def allreduce_dpml_pipelined(
 ) -> Generator:
     """DPML with k-way pipelined non-blocking inter-node allreduces."""
     machine = comm.machine
+    sim = comm.sim
+    probe = comm.runtime.phase_probe
     plan = yield from get_leader_plan(comm, leaders)
     inter = inter_algorithm or "flat_auto"
 
     if plan.n_nodes == comm.size:
         # Purely inter-node: pipeline the whole vector directly.
+        start = sim.now
         k = pipeline_depth(payload.nbytes, pipeline_unit, max_k)
         subs = payload.split(k)
         requests = [comm.iallreduce(sub, op, algorithm=inter) for sub in subs]
         results = yield from comm.waitall(requests)
+        _record(probe, "dpml_pipelined", "exchange", start, sim.now)
         return concat(results)
 
-    ell = plan.leaders
-    me = comm.world_rank
-    region = comm.runtime.shm_region(plan.node)
-    ctx = comm.group.context
-    parts = payload.split(ell)
-    bounds = split_bounds(payload.count, ell)
-    total = payload.count
-    my_loc = machine.loc(me)
-    ppn = plan.ppn
+    st = PhaseState(comm, payload, op, tag_base, plan)
 
-    # Phases 1-2 are identical to plain DPML (including the sanitizer
-    # span annotations on the staged partitions).
-    for j in range(ell):
-        leader_world = comm.translate(plan.node_ranks[j])
-        cross = machine.loc(leader_world).socket != my_loc.socket
-        yield from machine.shm_copy(me, parts[j].nbytes, cross_socket=cross)
-        region.put(
-            (ctx, tag_base, "in", j, plan.local_index),
-            parts[j],
-            span=((ctx, tag_base, "in", plan.local_index), *bounds[j], total),
-        )
+    start = sim.now
+    yield from phase_copy_in(st)
+    _record(probe, "dpml_pipelined", "copy_in", start, sim.now)
 
     if plan.is_leader:
-        j = plan.leader_index
-        gathered = []
-        for i in range(ppn):
-            part = yield region.take((ctx, tag_base, "in", j, i))
-            gathered.append(part)
-        yield from machine.gather_sync(me, ppn)
-        part_bytes = gathered[0].nbytes
-        if ppn > 1:
-            yield from machine.compute(me, part_bytes, combines=ppn - 1)
-        reduced = reduce_payloads(gathered, op)
+        start = sim.now
+        reduced = yield from phase_reduce(st)
+        _record(probe, "dpml_pipelined", "reduce", start, sim.now)
 
-        # Phase 3, pipelined: k outstanding sub-allreduces + waitall.
-        k = pipeline_depth(reduced.nbytes, pipeline_unit, max_k)
-        subs = reduced.split(k)
-        requests = [
-            plan.leader_comm.iallreduce(sub, op, algorithm=inter) for sub in subs
-        ]
-        results = yield from plan.leader_comm.waitall(requests)
-        region.put(
-            (ctx, tag_base, "out", j),
-            concat(results),
-            span=((ctx, tag_base, "out"), *bounds[j], total),
+        start = sim.now
+        yield from phase_exchange_pipelined(
+            st, reduced, inter, pipeline_unit, max_k
         )
+        _record(probe, "dpml_pipelined", "exchange", start, sim.now)
 
-    # Phase 4: identical to plain DPML.
     yield from machine.flag_sync()
-    outs = []
-    for j in range(ell):
-        leader_world = comm.translate(plan.node_ranks[j])
-        cross = machine.loc(leader_world).socket != my_loc.socket
-        result_j = yield region.read((ctx, tag_base, "out", j), readers=ppn)
-        yield from machine.shm_copy(me, result_j.nbytes, cross_socket=cross)
-        outs.append(result_j)
-    return region.concat(outs)
+    start = sim.now
+    result = yield from phase_copy_out(st)
+    if plan.is_leader:
+        _record(probe, "dpml_pipelined", "copy_out", start, sim.now)
+    return result

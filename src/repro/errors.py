@@ -65,6 +65,26 @@ class TuningError(ReproError):
     impossible configuration."""
 
 
+class UnknownAlgorithmError(TuningError, ValueError):
+    """The cost model was asked to price an algorithm name it has never
+    heard of.
+
+    Distinct from the model returning ``None`` for a *registered* but
+    unmodelled algorithm (ring, SHArP offload, the library selectors):
+    a name outside the registry is a caller bug — in hybrid-fidelity
+    mode a silently unpriced phase would corrupt simulated time, so the
+    model refuses loudly.  Subclasses :class:`ValueError` so generic
+    argument-validation handlers also catch it.
+    """
+
+    def __init__(self, algorithm: str, known):
+        self.algorithm = algorithm
+        super().__init__(
+            f"cost model cannot price unknown algorithm {algorithm!r}; "
+            f"registered algorithms: {', '.join(sorted(known))}"
+        )
+
+
 class FaultError(ReproError):
     """Invalid fault-injection plan (unknown fault kind, bad window,
     malformed JSON schema, ...)."""

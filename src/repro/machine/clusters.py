@@ -30,6 +30,7 @@ __all__ = [
     "cluster_c",
     "cluster_d",
     "get_cluster",
+    "scaled_cluster",
     "CLUSTERS",
 ]
 
@@ -208,3 +209,27 @@ def get_cluster(name: str, nodes: int | None = None) -> MachineConfig:
         raise ConfigError(f"unknown cluster {name!r}; choose from {sorted(CLUSTERS)}")
     factory = CLUSTERS[key]
     return factory() if nodes is None else factory(nodes)
+
+
+def scaled_cluster(name: str, nodes: int) -> MachineConfig:
+    """A cluster preset scaled past its physical node count.
+
+    The real machines top out at 40-752 nodes; datacenter-scale
+    scenario studies (hybrid fidelity at 10k-100k ranks) need
+    *hypothetical* larger builds of the same node and fabric.  This
+    bypasses the preset's physical cap while keeping every calibrated
+    constant — the result is "cluster X, if it had ``nodes`` nodes".
+    The config name is suffixed so results cannot be mistaken for the
+    physical machine.
+    """
+    if nodes < 1:
+        raise ConfigError(f"node count must be >= 1, got {nodes}")
+    key = name.strip().lower().removeprefix("cluster-").removeprefix("cluster_")
+    if key not in CLUSTERS:
+        raise ConfigError(f"unknown cluster {name!r}; choose from {sorted(CLUSTERS)}")
+    base = CLUSTERS[key](1)
+    if nodes == base.nodes:
+        return base
+    from dataclasses import replace
+
+    return replace(base.with_nodes(nodes), name=f"{base.name}-x{nodes}")

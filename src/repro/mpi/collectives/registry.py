@@ -20,11 +20,14 @@ __all__ = [
     "register_collective",
     "resolve_collective",
     "available_collectives",
+    "register_phase_plan",
+    "resolve_phase_plan",
 ]
 
 CollectiveFn = Callable[..., Generator]
 
 _REGISTRIES: dict[str, dict[str, CollectiveFn]] = {}
+_PHASE_PLANS: dict = {}
 _POPULATED = False
 
 #: Default algorithm per collective kind — the "state of the art"
@@ -157,9 +160,37 @@ def _populate() -> None:
     register_collective("alltoall", "pairwise", alltoall_pairwise)
     register_collective("alltoall", "bruck", alltoall_bruck)
 
+    from repro.core.phases import default_phase_plans
+
+    for name, plan in default_phase_plans().items():
+        register_phase_plan(name, plan)
+
+
+def register_phase_plan(name: str, plan) -> None:
+    """Register (or override) the hybrid-fidelity phase plan of one
+    allreduce algorithm.  Algorithms without a plan always run exact."""
+    _PHASE_PLANS[name] = plan
+
+
+def resolve_phase_plan(name: str):
+    """The :class:`~repro.core.phases.PhasePlan` priced for ``name``,
+    or ``None`` when the algorithm has no macro-charging support."""
+    _populate()
+    return _PHASE_PLANS.get(name)
+
 
 def resolve_collective(kind: str, name: Optional[str], comm) -> CollectiveFn:
-    """Look up an algorithm; ``None`` selects the kind's default."""
+    """Look up an algorithm; ``None`` selects the kind's default.
+
+    This is the single dispatch choke point for every collective call
+    (the library selectors delegate back through here), which makes it
+    the natural seam for hybrid fidelity: when the communicator's
+    runtime runs with ``fidelity="hybrid"`` and the resolved allreduce
+    has a registered phase plan, the exact coroutine implementation is
+    wrapped by the macro executor, which charges the whole collective
+    as one priced macro-event when eligible and falls back to the
+    wrapped exact path otherwise.
+    """
     _populate()
     registry = _REGISTRIES.get(kind)
     if registry is None:
@@ -174,6 +205,16 @@ def resolve_collective(kind: str, name: Optional[str], comm) -> CollectiveFn:
             f"unknown {kind} algorithm {key!r}; available: "
             f"{', '.join(sorted(registry))}"
         )
+    if (
+        kind == "allreduce"
+        and comm is not None
+        and getattr(comm.runtime, "fidelity", "exact") == "hybrid"
+    ):
+        plan = _PHASE_PLANS.get(key)
+        if plan is not None:
+            from repro.mpi.collectives.hybrid import make_hybrid_allreduce
+
+            return make_hybrid_allreduce(key, fn, plan)
     return fn
 
 

@@ -167,7 +167,13 @@ class Comm:
     # -- synchronisation ---------------------------------------------------------------
 
     def barrier(self, tag_base: Optional[int] = None) -> Generator:
-        """Dissemination barrier (``ceil(lg p)`` zero-byte rounds)."""
+        """Dissemination barrier (``ceil(lg p)`` zero-byte rounds).
+
+        In hybrid fidelity the ``p * ceil(lg p)`` message events become
+        a single macro-charge of the closed-form barrier latency (the
+        tag block is still allocated first, keeping per-view collective
+        counters aligned with exact runs).
+        """
         from repro.payload.payload import SymbolicPayload
 
         if tag_base is None:
@@ -175,6 +181,12 @@ class Comm:
         p = self.size
         if p == 1:
             return
+        if self.runtime.fidelity == "hybrid":
+            from repro.mpi.collectives.hybrid import hybrid_barrier
+
+            charged = yield from hybrid_barrier(self, tag_base)
+            if charged:
+                return
         token = SymbolicPayload(0, 1)
         distance = 1
         round_no = 0

@@ -17,10 +17,11 @@
 from __future__ import annotations
 
 import itertools
+import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional, Sequence, Union
 
-from repro.errors import DeadlockError, MPIError
+from repro.errors import ConfigError, DeadlockError, MPIError
 from repro.machine.config import MachineConfig
 from repro.machine.machine import Machine
 from repro.mpi.comm import Comm, Group
@@ -31,6 +32,28 @@ from repro.sim import Simulator, Tracer
 __all__ = ["Runtime", "JobResult", "SimSession", "run_job"]
 
 RankFn = Callable[..., Generator]
+
+#: Recognised fidelity modes: ``exact`` runs every collective through
+#: its coroutine implementation; ``hybrid`` charges validated phases as
+#: macro-events priced by the cost model (see ``docs/performance.md``).
+FIDELITIES = ("exact", "hybrid")
+
+
+def resolve_fidelity(fidelity: Optional[str]) -> str:
+    """Normalise a ``fidelity=`` argument.
+
+    ``None`` consults the ``REPRO_FIDELITY`` environment variable and
+    defaults to ``"exact"``; anything outside :data:`FIDELITIES` is a
+    :class:`~repro.errors.ConfigError`.
+    """
+    if fidelity is None:
+        fidelity = os.environ.get("REPRO_FIDELITY") or "exact"
+    if fidelity not in FIDELITIES:
+        raise ConfigError(
+            f"unknown fidelity {fidelity!r}; expected one of "
+            f"{', '.join(FIDELITIES)}"
+        )
+    return fidelity
 
 
 def _skewed_start(sim: Simulator, delay: float, gen: Generator) -> Generator:
@@ -69,9 +92,16 @@ def _as_injector(faults, machine: Machine, seed: int = 0):
 class Runtime:
     """MPI runtime for one job on one machine."""
 
-    def __init__(self, machine: Machine):
+    def __init__(self, machine: Machine, *, fidelity: Optional[str] = None):
         self.machine = machine
         self.sim = machine.sim
+        #: Execution fidelity of collectives launched through this
+        #: runtime (``"exact"`` or ``"hybrid"``); consulted by the
+        #: collective registry at dispatch time.
+        self.fidelity = resolve_fidelity(fidelity)
+        #: Optional :class:`~repro.core.phases.PhaseProbe` recording
+        #: exact-execution phase windows for the spot-check oracle.
+        self.phase_probe = None
         self.transport = Transport(machine)
         self._context_counter = itertools.count(1)
         self._world_group = Group(range(machine.nranks), context=0)
@@ -346,6 +376,7 @@ class SimSession:
         *,
         trace: bool = False,
         sanitize: Union[bool, Any, None] = None,
+        fidelity: Optional[str] = None,
     ):
         self.config = config
         self.nranks = nranks
@@ -353,13 +384,22 @@ class SimSession:
             config, nranks, ppn, sim=Simulator(sanitize=sanitize), trace=trace
         )
         self.ppn = self.machine.ppn
-        self.runtime = Runtime(self.machine)
+        self.runtime = Runtime(self.machine, fidelity=fidelity)
+        self.fidelity = self.runtime.fidelity
         self.runs = 0  #: completed jobs (overhead accounting / debugging)
 
     @property
     def key(self) -> tuple:
-        """Layout identity: sessions with equal keys are interchangeable."""
-        return (self.config, self.nranks, self.ppn)
+        """Layout identity: sessions with equal keys are interchangeable.
+
+        Fidelity joins the key only when non-default, mirroring how
+        :mod:`repro.bench.spec` serialises it — existing exact-mode
+        callers see the unchanged 3-tuple.
+        """
+        base = (self.config, self.nranks, self.ppn)
+        if self.fidelity != "exact":
+            return base + (self.fidelity,)
+        return base
 
     def matches(
         self, config: MachineConfig, nranks: int, ppn: Optional[int] = None
@@ -424,10 +464,15 @@ def run_job(
     sanitize: Union[bool, Any, None] = None,
     faults=None,
     fault_seed: int = 0,
+    fidelity: Optional[str] = None,
     args: Sequence = (),
     kwargs: Optional[dict] = None,
 ) -> JobResult:
     """Build a machine (if needed), launch ``fn`` on ``nranks``, run to end.
+
+    ``fidelity`` selects the collective execution mode (``"exact"`` |
+    ``"hybrid"``; ``None`` consults ``REPRO_FIDELITY``) — see
+    :data:`FIDELITIES`.
 
     ``sanitize`` enables the invariant sanitizer for this job: ``True``
     for a fresh strict :class:`~repro.check.sanitizer.Sanitizer`, a
@@ -461,5 +506,5 @@ def run_job(
         machine = Machine(config_or_machine, nranks, ppn, sim=sim, trace=trace)
     if faults is not None:
         machine.faults = _as_injector(faults, machine, fault_seed)
-    runtime = Runtime(machine)
+    runtime = Runtime(machine, fidelity=fidelity)
     return runtime.launch(fn, args=args, kwargs=kwargs)

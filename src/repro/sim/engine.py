@@ -492,6 +492,12 @@ class Simulator:
         self._n_heap_pop: int = 0
         self._n_nowq: int = 0
         self._n_pool_hit: int = 0
+        self._n_pool_evict: int = 0
+        self._n_macro: int = 0
+        #: per-run log of macro charges: ``(label, start_time, duration,
+        #: ((phase, seconds), ...))`` tuples in charge order.  Consumed
+        #: by the hybrid-fidelity spot-check oracle; cleared on reset().
+        self.macro_log: list[tuple] = []
         # ``sanitize`` is tri-state: None consults REPRO_SANITIZE, a
         # bool forces it, and a Sanitizer instance is installed as-is
         # (lazy import: repro.check sits above the kernel in the
@@ -540,6 +546,9 @@ class Simulator:
         self._n_heap_pop = 0
         self._n_nowq = 0
         self._n_pool_hit = 0
+        self._n_pool_evict = 0
+        self._n_macro = 0
+        self.macro_log.clear()
         if self._sanitizer is not None:
             self._sanitizer.reset()
 
@@ -549,7 +558,10 @@ class Simulator:
         ``events_allocated`` counts ``Event.__init__`` calls (pool
         reuses skip it); ``pool_reuses`` counts factory hits on the
         free pools; ``nowq_entries`` counts zero-delay dispatches that
-        bypassed the heap.
+        bypassed the heap; ``pool_evictions`` counts recyclable events
+        dropped because their pool was at :data:`_POOL_CAP` (bounded
+        pool memory at 10k+ ranks); ``macro_events`` counts
+        :meth:`macro_charge` dispatches (hybrid-fidelity phase charges).
         """
         return {
             "events_allocated": self._n_events,
@@ -557,6 +569,8 @@ class Simulator:
             "heap_pops": self._n_heap_pop,
             "nowq_entries": self._n_nowq,
             "pool_reuses": self._n_pool_hit,
+            "pool_evictions": self._n_pool_evict,
+            "macro_events": self._n_macro,
         }
 
     # -- factories ----------------------------------------------------------
@@ -616,6 +630,30 @@ class Simulator:
             self._n_heap_push += 1
             heapq.heappush(self._heap, (self.now + delay, self._seq, event))
 
+    def macro_charge(
+        self,
+        event: Event,
+        value: Any = None,
+        delay: float = 0.0,
+        *,
+        label: str = "",
+        phases: tuple = (),
+    ) -> None:
+        """Charge a whole validated phase group as one macro-event.
+
+        Hybrid-fidelity mode replaces the per-message coroutine dance of
+        a collective phase with a single scheduled completion: ``event``
+        fires with ``value`` after ``delay`` simulated seconds, exactly
+        as if the exact path had run — but in one heap push instead of
+        thousands.  ``label`` and ``phases`` (``(name, seconds)`` pairs
+        that sum to ``delay``) are appended to :attr:`macro_log` so the
+        spot-check oracle can compare each charge against an exact
+        re-execution.
+        """
+        self._n_macro += 1
+        self.macro_log.append((label, self.now, delay, tuple(phases)))
+        event.succeed(value, delay=delay)
+
     # -- execution ----------------------------------------------------------
 
     def _dispatch_heap(self) -> None:
@@ -656,15 +694,21 @@ class Simulator:
             pool = self._pool_allof
         else:
             return
-        if len(pool) < _POOL_CAP and _getrefcount(event) == _POOLED_REFS:
-            event._cb1 = None
-            event.callbacks = None
-            event._value = None
-            event._ok = True
-            event._state = _PENDING
-            if cls is AllOf:
-                event._children = []
-            pool.append(event)
+        if _getrefcount(event) != _POOLED_REFS:
+            return
+        if len(pool) >= _POOL_CAP:
+            # Recyclable but the pool is full: drop it so pool memory
+            # stays bounded instead of growing to the high-water mark.
+            self._n_pool_evict += 1
+            return
+        event._cb1 = None
+        event.callbacks = None
+        event._value = None
+        event._ok = True
+        event._state = _PENDING
+        if cls is AllOf:
+            event._children = []
+        pool.append(event)
 
     def step(self) -> None:
         """Process the single next event.

@@ -250,3 +250,63 @@ class TestFaultsField:
             spec.spec_hash()
             != named_sweep("fig5", sizes=[1024]).spec_hash()
         )
+
+
+class TestFidelityField:
+    """Fidelity threading: conditional serialisation, hashing, points."""
+
+    def test_exact_spec_dict_has_no_fidelity_key(self):
+        # Pre-hybrid spec hashes must stay stable: the key only appears
+        # for non-default fidelity, exactly like ``faults``.
+        assert "fidelity" not in small_spec().to_dict()
+        assert "fidelity" not in small_spec().points()[0].to_dict()
+        assert small_spec().points()[0].session_key == ("b", 2, 2)
+
+    def test_hybrid_spec_round_trips(self):
+        spec = small_spec(fidelity="hybrid")
+        back = SweepSpec.from_dict(json.loads(json.dumps(spec.to_dict())))
+        assert back == spec
+        assert back.spec_hash() == spec.spec_hash()
+
+    def test_fidelity_changes_spec_hash(self):
+        assert (
+            small_spec(fidelity="hybrid").spec_hash()
+            != small_spec().spec_hash()
+        )
+
+    def test_fidelity_flows_into_every_point(self):
+        spec = small_spec(fidelity="hybrid")
+        for point in spec.iter_points():
+            assert point.fidelity == "hybrid"
+            assert point.session_key == ("b", 2, 2, "hybrid")
+            assert "hybrid" in point.label()
+
+    def test_point_round_trips_with_fidelity(self):
+        point = small_spec(fidelity="hybrid").points()[0]
+        back = SamplePoint.from_dict(json.loads(json.dumps(point.to_dict())))
+        assert back == point
+
+    def test_unknown_fidelity_rejected(self):
+        from repro.errors import ConfigError
+
+        with pytest.raises(ConfigError, match="fidelity"):
+            small_spec(fidelity="approximate")
+
+    def test_named_sweep_accepts_fidelity(self):
+        spec = named_sweep("fig5", sizes=[1024], fidelity="hybrid")
+        assert spec.fidelity == "hybrid"
+        assert (
+            spec.spec_hash()
+            != named_sweep("fig5", sizes=[1024]).spec_hash()
+        )
+
+    def test_hybrid_point_runs_and_matches_exact_point(self):
+        spec = small_spec(sizes=(1024,), leader_counts=(2,))
+        exact_point = spec.points()[0]
+        hybrid_point = small_spec(
+            sizes=(1024,), leader_counts=(2,), fidelity="hybrid"
+        ).points()[0]
+        exact = exact_point.run()
+        hybrid = hybrid_point.run()
+        assert exact > 0.0
+        assert hybrid > 0.0

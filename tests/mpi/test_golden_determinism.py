@@ -13,14 +13,25 @@ The grid is the shared conftest layout grid (the same shapes as
 ``python -m repro.check``), and the sanitized variants re-run the
 comparison with the invariant sanitizer attached, since sanitizer
 bookkeeping rides the same hot paths.
+
+The hybrid-fidelity tests extend the same contract one layer up:
+macro-charging a collective through the cost model may change its
+*simulated timing* (that is the point), but never its numerics — every
+registered allreduce must return bit-identical result buffers in both
+fidelities, hybrid timings must be deterministic run to run, and under
+injected faults hybrid must fall back to the exact path cleanly
+(sanitizer-silent and bit-identical to an exact faulted run, timing
+included).
 """
 
 import numpy as np
 import pytest
 
 from tests.conftest import ALL_LAYOUTS, layout_id
-from repro.machine.clusters import cluster_b
+from repro.faults.plan import FaultPlan, Straggler
+from repro.machine.clusters import cluster_a, cluster_b
 from repro.mpi import run_job
+from repro.mpi.collectives.registry import available_algorithms
 from repro.payload import SUM, make_payload, set_payload_compat
 from repro.sim import Simulator
 
@@ -42,7 +53,10 @@ def _allreduce_fn(inputs, algorithm, **kw):
     return fn
 
 
-def _run(layout, algorithm, *, compat, sanitize=False, **kw):
+def _run(
+    layout, algorithm, *, compat, sanitize=False, fidelity=None, faults=None,
+    cluster=cluster_b, **kw
+):
     """One job with kernel *and* payload layer in the given mode."""
     nranks, ppn, nodes = layout
     rng = np.random.default_rng(7)
@@ -52,12 +66,14 @@ def _run(layout, algorithm, *, compat, sanitize=False, **kw):
     set_payload_compat(compat)
     try:
         job = run_job(
-            cluster_b(nodes),
+            cluster(nodes),
             nranks,
             _allreduce_fn(inputs, algorithm, **kw),
             ppn=ppn,
             sim=Simulator(compat=compat),
             sanitize=sanitize,
+            fidelity=fidelity,
+            faults=faults,
         )
     finally:
         set_payload_compat(False)
@@ -121,6 +137,58 @@ def test_mixed_modes_agree(kernel_compat, payload_compat):
     finally:
         set_payload_compat(False)
     assert job.elapsed == golden.elapsed
+
+
+@pytest.mark.parametrize("algorithm", available_algorithms())
+def test_hybrid_matches_exact_values_across_algorithms(algorithm):
+    """Every registered allreduce: hybrid and exact fidelity produce
+    bit-identical result buffers.  Plan-backed algorithms take the
+    macro-charged path; the rest must fall back to exact transparently,
+    so both classes ride this assertion."""
+    layout = (16, 4, 4)
+    # SHArP designs require the Cluster-A fabric (Section 6.1).
+    cluster = cluster_a if algorithm.startswith("sharp") else cluster_b
+    exact = _run(layout, algorithm, fidelity="exact", compat=False, cluster=cluster)
+    hybrid = _run(layout, algorithm, fidelity="hybrid", compat=False, cluster=cluster)
+    for rank, (want, got) in enumerate(zip(exact.values, hybrid.values)):
+        np.testing.assert_array_equal(want, got, err_msg=f"rank {rank}")
+
+
+@pytest.mark.parametrize("layout", ALL_LAYOUTS[:4], ids=layout_id)
+def test_hybrid_timing_is_deterministic(layout):
+    """Repeated hybrid runs are bit-identical: same simulated elapsed,
+    same macro charges, same buffers.  Only homogeneous layouts are
+    macro-eligible; ragged ones must deterministically fall back."""
+    nranks, ppn, nodes = layout
+    first = _run(layout, "dpml", fidelity="hybrid", compat=False)
+    second = _run(layout, "dpml", fidelity="hybrid", compat=False)
+    _assert_identical(first, second)
+    assert first.counters["macro_events"] == second.counters["macro_events"]
+    if nranks == ppn * nodes:
+        assert first.counters["macro_events"] > 0
+    else:
+        assert first.counters["macro_events"] == 0
+
+
+def test_hybrid_falls_back_to_exact_under_faults():
+    """A fault plan disqualifies macro-charging (the charge formulas
+    know nothing about stragglers), so hybrid must compose with the
+    fault subsystem by degrading to the exact path — sanitizer-clean
+    and bit-identical to an exact faulted run, elapsed included."""
+    layout = (16, 4, 4)
+    plan = FaultPlan(faults=(Straggler(rank=3, factor=8.0),))
+    exact = _run(
+        layout, "dpml", fidelity="exact", compat=False,
+        faults=plan, sanitize=True,
+    )
+    hybrid = _run(
+        layout, "dpml", fidelity="hybrid", compat=False,
+        faults=plan, sanitize=True,
+    )
+    _assert_identical(exact, hybrid)
+    assert not exact.reports
+    assert not hybrid.reports
+    assert hybrid.counters["macro_events"] == 0
 
 
 def test_counters_reflect_modes():

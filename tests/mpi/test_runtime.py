@@ -160,3 +160,36 @@ class TestGates:
         runtime = Runtime(machine)
         assert runtime.shm_region(0) is runtime.shm_region(0)
         assert runtime.shm_region(0) is not runtime.shm_region(1)
+
+
+class TestFidelity:
+    def test_default_is_exact(self):
+        machine = Machine(cluster_b(2), 4, ppn=2)
+        assert Runtime(machine).fidelity == "exact"
+
+    def test_explicit_mode_wins(self):
+        machine = Machine(cluster_b(2), 4, ppn=2)
+        assert Runtime(machine, fidelity="hybrid").fidelity == "hybrid"
+
+    def test_env_var_supplies_the_default(self, monkeypatch):
+        from repro.mpi.runtime import resolve_fidelity
+
+        monkeypatch.setenv("REPRO_FIDELITY", "hybrid")
+        assert resolve_fidelity(None) == "hybrid"
+        # An explicit argument still beats the environment.
+        assert resolve_fidelity("exact") == "exact"
+        monkeypatch.delenv("REPRO_FIDELITY")
+        assert resolve_fidelity(None) == "exact"
+
+    def test_unknown_mode_rejected(self):
+        from repro.errors import ConfigError
+        from repro.mpi.runtime import resolve_fidelity
+
+        with pytest.raises(ConfigError, match="fidelity"):
+            resolve_fidelity("approximate")
+
+    def test_fidelity_survives_reset(self):
+        machine = Machine(cluster_b(2), 4, ppn=2)
+        runtime = Runtime(machine, fidelity="hybrid")
+        runtime.reset()
+        assert runtime.fidelity == "hybrid"
