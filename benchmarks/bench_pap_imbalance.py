@@ -108,6 +108,61 @@ def measure_curve(
     }
 
 
+def measure_outage_failover(
+    *,
+    cluster: str = "b",
+    nodes: int = 4,
+    ppn: int = 4,
+    nbytes: int = 16384,
+    victim: int = 1,
+    algorithms=DEFAULT_ALGORITHMS,
+    iterations: int = 3,
+    restart_latency: float = 5e-4,
+    sanitize=None,
+) -> dict:
+    """Failover cost per algorithm: healthy vs. recovered latency.
+
+    Each algorithm runs once fault-free and once under a permanent
+    outage isolating ``victim`` from t=0 with a recovery policy
+    attached — the job completes on the survivors via leader failover,
+    and the overhead column is what the restart (detection + shrink +
+    re-run, ``restart_latency`` included) cost.  Deterministic like the
+    skew curves; only reported when ``--outage`` is passed, so the
+    default faults-smoke record is unchanged.
+    """
+    from repro.mpi.runtime import run_job
+    from repro.resilience import RecoveryPolicy, isolation_plan
+
+    config = resolve_config(cluster, nodes)
+    count = max(1, nbytes // FLOAT_BYTES)
+    policy = RecoveryPolicy(restart_latency=restart_latency)
+    plan = isolation_plan(victim, 0.0)
+    rows: dict[str, dict[str, float]] = {}
+    for algorithm in algorithms:
+        healthy = run_job(
+            config, nodes * ppn, _pap_job, ppn=ppn, sanitize=sanitize,
+            args=(count, algorithm, iterations),
+        )
+        recovered = run_job(
+            config, nodes * ppn, _pap_job, ppn=ppn, sanitize=sanitize,
+            faults=plan, recovery=policy,
+            args=(count, algorithm, iterations),
+        )
+        resilience = recovered.counters["resilience"]
+        rows[algorithm] = {
+            "healthy": healthy.elapsed / iterations,
+            "recovered": recovered.elapsed / iterations,
+            "overhead": (recovered.elapsed - healthy.elapsed) / iterations,
+            "failovers": len(resilience["failovers"]),
+        }
+    return {
+        "victim": victim,
+        "restart_latency": repr(restart_latency),
+        "policy": policy.policy_hash(),
+        "rows": rows,
+    }
+
+
 def canonical_json(record: dict) -> str:
     """Deterministic rendition (sorted keys, repr'd floats already)."""
     return json.dumps(record, indent=2, sort_keys=True)
@@ -150,6 +205,15 @@ def main(argv=None) -> int:
     parser.add_argument("--iterations", type=int, default=3)
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument(
+        "--outage", action="store_true",
+        help="also measure failover cost under a permanent outage "
+        "isolating --victim (adds an 'outage' section to the record)",
+    )
+    parser.add_argument(
+        "--victim", type=int, default=1,
+        help="node isolated by the --outage measurement",
+    )
+    parser.add_argument(
         "--output", default=None, help="write the canonical JSON record here"
     )
     parser.add_argument(
@@ -175,7 +239,26 @@ def main(argv=None) -> int:
         seed=args.seed,
         sanitize=True if args.sanitize else None,
     )
+    if args.outage:
+        record["outage"] = measure_outage_failover(
+            cluster=args.cluster,
+            nodes=args.nodes,
+            ppn=args.ppn,
+            nbytes=args.nbytes,
+            victim=args.victim,
+            algorithms=tuple(a.strip() for a in args.algorithms.split(",")),
+            iterations=args.iterations,
+            sanitize=True if args.sanitize else None,
+        )
     print(_format_table(record))
+    if args.outage:
+        print(f"\noutage failover (node {args.victim} isolated):")
+        for algorithm, row in sorted(record["outage"]["rows"].items()):
+            print(
+                f"  {algorithm:<20} healthy {row['healthy'] * 1e6:9.1f}us"
+                f"   recovered {row['recovered'] * 1e6:9.1f}us"
+                f"   overhead {row['overhead'] * 1e6:9.1f}us"
+            )
     if args.output:
         with open(args.output, "w") as fh:
             fh.write(canonical_json(record))

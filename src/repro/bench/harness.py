@@ -53,9 +53,18 @@ def allreduce_latency(
     faults=None,
     fault_seed: int = 0,
     fidelity: Optional[str] = None,
+    recovery=None,
     **alg_kwargs,
 ) -> float:
     """Average per-call allreduce latency (seconds).
+
+    ``recovery`` attaches a resilience layer (a
+    :class:`~repro.resilience.policy.RecoveryPolicy` or pre-built
+    manager) so the measured job survives permanent link outages via
+    failover instead of aborting — the latency then includes the
+    restart.  With a ``session``, the session must have been built with
+    the recovery layer (a runtime's recovery manager, like its
+    fidelity, is fixed at construction).
 
     ``fidelity`` selects the collective execution mode (``"exact"`` |
     ``"hybrid"``; ``None`` consults ``REPRO_FIDELITY``).  With a
@@ -123,6 +132,11 @@ def allreduce_latency(
                 f"session fidelity {session.fidelity!r} does not match the "
                 f"requested {fidelity!r}"
             )
+        if recovery is not None and session.recovery is None:
+            raise ReproError(
+                "recovery= needs a session built with the recovery layer "
+                "(pass recovery= to SimSession)"
+            )
         job = session.run(
             bench, noise=noise, timeline=timeline,
             faults=faults, fault_seed=fault_seed,
@@ -135,10 +149,11 @@ def allreduce_latency(
             from repro.mpi.runtime import _as_injector
 
             machine.faults = _as_injector(faults, machine, fault_seed)
-        job = Runtime(machine, fidelity=fidelity).launch(bench)
+        job = Runtime(machine, fidelity=fidelity, recovery=recovery).launch(bench)
     # The slowest rank's window is the collective's completion latency
-    # (matches how OSU reports max across ranks at scale).
-    return float(max(job.values))
+    # (matches how OSU reports max across ranks at scale).  Ranks lost
+    # to a failover return None; only survivors report a window.
+    return float(max(v for v in job.values if v is not None))
 
 
 @dataclass(frozen=True)

@@ -39,6 +39,9 @@ __all__ = [
     "COST_DIVERGENCE",
     "PHASE_DIVERGENCE",
     "FAULT_RETRIES_EXHAUSTED",
+    "RESILIENCE_DOUBLE_FAILOVER",
+    "RESILIENCE_LOST_PARTITION",
+    "RESILIENCE_POST_SHRINK_LEAK",
     "ALL_KINDS",
 ]
 
@@ -75,6 +78,11 @@ PHASE_DIVERGENCE = "phase-timing-divergence"  #: hybrid charge vs exact phase
 # -- fault injection ---------------------------------------------------------
 FAULT_RETRIES_EXHAUSTED = "fault-retries-exhausted"  #: outage outlived backoff
 
+# -- recovery invariants (repro.resilience) ----------------------------------
+RESILIENCE_DOUBLE_FAILOVER = "resilience-double-failover"  #: failover budget spent
+RESILIENCE_LOST_PARTITION = "resilience-lost-partition"  #: no surviving node left
+RESILIENCE_POST_SHRINK_LEAK = "resilience-post-shrink-leak"  #: traffic to a dead rank
+
 #: The closed kind vocabulary, for validation and docs.
 ALL_KINDS = (
     GATE_REOPEN,
@@ -98,6 +106,9 @@ ALL_KINDS = (
     COST_DIVERGENCE,
     PHASE_DIVERGENCE,
     FAULT_RETRIES_EXHAUSTED,
+    RESILIENCE_DOUBLE_FAILOVER,
+    RESILIENCE_LOST_PARTITION,
+    RESILIENCE_POST_SHRINK_LEAK,
 )
 
 

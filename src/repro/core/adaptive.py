@@ -69,8 +69,25 @@ def allreduce_adaptive(
     tag_base: int = 0,
     candidates: Optional[Sequence[tuple[str, dict]]] = None,
 ) -> Generator:
-    """Allreduce with online per-size-bucket algorithm selection."""
+    """Allreduce with online per-size-bucket algorithm selection.
+
+    On a degraded communicator (a recovery manager has confirmed dead
+    nodes) exploration is skipped entirely and the policy's
+    topology-agnostic ``fallback_algorithm`` runs instead: tuned
+    crossover points and DPML/SHArP leader layouts were learned for the
+    healthy topology, and the shrunk one may not even be homogeneous.
+    The decision is logged once per communicator context in
+    ``JobResult.counters["resilience"]["fallbacks"]``.
+    """
     from repro.mpi.collectives.registry import resolve_allreduce
+
+    manager = getattr(comm.runtime, "recovery", None)
+    if manager is not None and manager.degraded:
+        name = manager.policy.fallback_algorithm
+        manager.record_fallback("adaptive", name, comm.group.context)
+        fn = resolve_allreduce(name, comm)
+        result = yield from fn(comm, payload, op, tag_base=tag_base)
+        return result
 
     candidates = tuple(candidates or DEFAULT_CANDIDATES)
     bucket = payload.nbytes.bit_length()

@@ -51,6 +51,84 @@ class MPIError(ReproError):
     invalid communicator operation, ...)."""
 
 
+class TransportError(MPIError):
+    """A transport-level send failed permanently.
+
+    Raised when a link outage outlives the retry budget
+    (``FaultPlan.retry_limit``).  Unlike a bare :class:`MPIError`, the
+    failure is structured so the resilience layer's failure detector —
+    and tests — can match on fields instead of regexes:
+
+    ``rank``
+        The world rank whose send exhausted its retries.
+    ``edge``
+        The failing ``(src_node, dst_node)`` topology edge.
+    ``sim_time``
+        Simulated time at which the retries exhausted.
+    ``attempts``
+        How many retries were performed before giving up.
+
+    Subclasses :class:`MPIError` so pre-existing ``except MPIError``
+    handlers (and ``pytest.raises(MPIError, match="retry")`` tests)
+    keep working unchanged.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        rank: int,
+        edge: tuple,
+        sim_time: float,
+        attempts: int,
+    ):
+        super().__init__(message)
+        self.rank = rank
+        self.edge = (int(edge[0]), int(edge[1]))
+        self.sim_time = sim_time
+        self.attempts = attempts
+
+
+class CommRevokedError(MPIError):
+    """An operation was attempted on a revoked communicator.
+
+    Mirrors ULFM's ``MPI_ERR_REVOKED``: after :meth:`Comm.revoke` the
+    communicator refuses new point-to-point and collective traffic;
+    only :meth:`Comm.shrink` and :meth:`Comm.agree` remain usable to
+    negotiate the surviving group.
+    """
+
+    def __init__(self, context: int, operation: str):
+        super().__init__(
+            f"communicator (context {context}) is revoked; "
+            f"{operation} refused — shrink() to a surviving group first"
+        )
+        self.context = context
+        self.operation = operation
+
+
+class RecoveryError(ReproError):
+    """The recovery layer hit an unrecoverable condition.
+
+    ``kind`` is one of the closed vocabulary:
+
+    * ``"double-failover"`` — a further failure after the policy's
+      ``max_failovers`` budget was already spent;
+    * ``"lost-partition"`` — the confirmed-dead set leaves no surviving
+      node to re-run the job on;
+    * ``"no-suspect"`` — a failure signal arrived but the detector could
+      not attribute it to any node (e.g. a wildcard outage with no
+      nameable endpoint).
+
+    ``details`` carries structured, JSON-ready context.
+    """
+
+    def __init__(self, kind: str, message: str, *, details: dict | None = None):
+        super().__init__(message)
+        self.kind = kind
+        self.details = dict(details or {})
+
+
 class PayloadError(ReproError):
     """Invalid payload operation (mixing incompatible payloads,
     reducing different lengths, ...)."""

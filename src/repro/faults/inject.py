@@ -113,6 +113,11 @@ class FaultInjector:
         self._arrival_delays: list[float] = [0.0] * nranks
         self._retries: list[int] = [0] * nranks
         self._exhausted: list[int] = [0] * nranks
+        # Per-edge breakdown, keyed (src_node, dst_node); entries appear
+        # only when an edge actually retries, so plans that never hit an
+        # outage keep the exact pre-existing counters() shape.
+        self._edge_retries: dict[tuple[int, int], int] = {}
+        self._edge_exhausted: dict[tuple[int, int], int] = {}
         self._realize()
 
     @classmethod
@@ -162,6 +167,8 @@ class FaultInjector:
         """
         self._retries = [0] * self.nranks
         self._exhausted = [0] * self.nranks
+        self._edge_retries = {}
+        self._edge_exhausted = {}
         self._realize()
 
     # -- per-rank arrival ----------------------------------------------------
@@ -228,6 +235,22 @@ class FaultInjector:
                     blocked = end
         return blocked
 
+    def outage_endpoints(self, now: float, min_age: float = 0.0) -> list[int]:
+        """Named endpoints of outages active at ``now``, sorted.
+
+        Only outages at least ``min_age`` old qualify (the resilience
+        layer's heartbeat window); wildcard (``None``) endpoints are
+        not named.
+        """
+        nodes: set[int] = set()
+        for f in self._outages:
+            if f.start <= now < f.end and now - f.start >= min_age:
+                if f.src is not None:
+                    nodes.add(f.src)
+                if f.dst is not None:
+                    nodes.add(f.dst)
+        return sorted(nodes)
+
     # -- retry bookkeeping ---------------------------------------------------
 
     @property
@@ -240,23 +263,53 @@ class FaultInjector:
             self.plan.backoff_cap, self.plan.backoff_base * (2.0 ** attempt)
         )
 
-    def count_retry(self, rank: int) -> None:
-        """One transport-level retry performed on behalf of ``rank``."""
-        self._retries[rank] += 1
+    def count_retry(
+        self, rank: int, edge: Optional[tuple[int, int]] = None
+    ) -> None:
+        """One transport-level retry performed on behalf of ``rank``.
 
-    def count_exhausted(self, rank: int) -> None:
+        ``edge`` optionally attributes the retry to the blocked
+        ``(src_node, dst_node)`` edge for the per-edge breakdown.
+        """
+        self._retries[rank] += 1
+        if edge is not None:
+            self._edge_retries[edge] = self._edge_retries.get(edge, 0) + 1
+
+    def count_exhausted(
+        self, rank: int, edge: Optional[tuple[int, int]] = None
+    ) -> None:
         """Retries exhausted for a send on behalf of ``rank``."""
         self._exhausted[rank] += 1
+        if edge is not None:
+            self._edge_exhausted[edge] = self._edge_exhausted.get(edge, 0) + 1
 
     def counters(self) -> dict:
-        """Deterministic, JSON-ready snapshot for ``JobResult.counters``."""
-        return {
+        """Deterministic, JSON-ready snapshot for ``JobResult.counters``.
+
+        The ``"edges"`` key (per-edge retry/exhaustion breakdown, keyed
+        ``"src->dst"``) is present only when some edge actually
+        retried — plans that never hit an outage keep the historical
+        snapshot shape, so pre-existing golden comparisons and spec
+        hashes are unaffected.
+        """
+        out = {
             "plan": self.plan.plan_hash(),
             "seed": self.seed,
             "retries": list(self._retries),
             "exhausted": list(self._exhausted),
             "arrival_delays": list(self._arrival_delays),
         }
+        if self._edge_retries or self._edge_exhausted:
+            edges: dict[str, dict] = {}
+            for src, dst in sorted(
+                set(self._edge_retries) | set(self._edge_exhausted)
+            ):
+                edges[f"{src}->{dst}"] = {
+                    "retries": self._edge_retries.get((src, dst), 0),
+                    "exhausted": self._edge_exhausted.get((src, dst), 0),
+                }
+            out["edges"] = edges
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

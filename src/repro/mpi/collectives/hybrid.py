@@ -56,6 +56,12 @@ def macro_eligible(comm) -> bool:
         return False
     if machine.noise is not None or machine.faults is not None:
         return False
+    if getattr(comm.runtime, "recovery", None) is not None:
+        # A recovery policy is active: the job may fail over onto a
+        # shrunk, possibly ragged layout mid-run, and the detector
+        # needs the exact per-message transport path to observe
+        # failures — hybrid runs fall back to exact wholesale.
+        return False
     if machine.nranks != machine.placement.nodes_used * machine.ppn:
         # Ragged placement: the cost model assumes p = h * ppn.
         return False

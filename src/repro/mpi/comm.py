@@ -23,7 +23,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Callable, Generator, Optional, Sequence
 
-from repro.errors import MPIError
+from repro.errors import CommRevokedError, MPIError
 from repro.mpi.matching import ANY
 from repro.mpi.request import Request
 from repro.payload.ops import ReduceOp
@@ -42,7 +42,10 @@ _COLL_TAG_BASE = 1 << 20
 class Group:
     """State shared by all rank views of one communicator."""
 
-    __slots__ = ("ranks", "context", "index_of", "_split_calls", "_coll_calls")
+    __slots__ = (
+        "ranks", "context", "index_of", "_split_calls", "_coll_calls",
+        "revoked",
+    )
 
     def __init__(self, ranks: Sequence[int], context: int):
         self.ranks = tuple(ranks)
@@ -52,12 +55,18 @@ class Group:
         # "event": Event fired with {global_rank: Group}}
         self._split_calls: dict[int, dict] = {}
         self._coll_calls = 0
+        # ULFM-style revocation flag (see Comm.revoke): a revoked
+        # communicator refuses new traffic on every rank's view.
+        self.revoked = False
 
 
 class Comm:
     """One rank's view of a communicator."""
 
-    __slots__ = ("runtime", "group", "rank", "_split_count", "_coll_count", "cache")
+    __slots__ = (
+        "runtime", "group", "rank", "_split_count", "_coll_count",
+        "_shrink_count", "_agree_count", "cache",
+    )
 
     def __init__(self, runtime, group: Group, global_rank: int):
         if global_rank not in group.index_of:
@@ -67,6 +76,8 @@ class Comm:
         self.rank = group.index_of[global_rank]
         self._split_count = 0
         self._coll_count = 0
+        self._shrink_count = 0
+        self._agree_count = 0
         # Per-(comm, rank) cache used by collective plans (e.g. DPML
         # leader layouts); keyed by algorithm-specific tuples.
         self.cache: dict = {}
@@ -111,12 +122,16 @@ class Comm:
 
     def isend(self, dst: int, payload: Payload, tag: int = 0) -> Request:
         """Non-blocking send to communicator rank ``dst``."""
+        if self.group.revoked:
+            raise CommRevokedError(self.group.context, "isend")
         return self.runtime.transport.isend(
             self.world_rank, self.translate(dst), payload, tag, self.group.context
         )
 
     def irecv(self, source: int = ANY_SOURCE, tag: int = ANY_TAG) -> Request:
         """Non-blocking receive."""
+        if self.group.revoked:
+            raise CommRevokedError(self.group.context, "irecv")
         src_global = source if source == ANY_SOURCE else self.translate(source)
         return self.runtime.transport.irecv(
             self.world_rank, src_global, tag, self.group.context
@@ -208,6 +223,8 @@ class Comm:
         Every rank must invoke collectives on a communicator in the same
         order (an MPI requirement), so per-view counters stay aligned.
         """
+        if self.group.revoked:
+            raise CommRevokedError(self.group.context, "collective")
         base = _COLL_TAG_BASE + self._coll_count * _COLL_TAG_SPAN
         self._coll_count += 1
         return base
@@ -220,7 +237,35 @@ class Comm:
         ``algorithm`` picks an entry from the registry
         (:mod:`repro.mpi.collectives.registry`); ``None`` uses the
         machine's default selector.
+
+        When a recovery layer is attached, every *outermost*
+        world-communicator call is logged with the
+        :class:`~repro.resilience.manager.RecoveryManager` — and, after
+        a failover, replayed from the log up to the last boundary every
+        survivor had completed.  Nested same-context calls (DPML's flat
+        fallback, the adaptive selector's cost agreement) are interior
+        steps of the outer collective and always re-execute with it.
         """
+        manager = getattr(self.runtime, "recovery", None)
+        if manager is None or self.group.context != 0:
+            result = yield from self._allreduce_impl(payload, op, algorithm, kwargs)
+            return result
+        outermost = manager.enter_collective(self.world_rank)
+        try:
+            if outermost:
+                hit, value = manager.replay(self.world_rank)
+                if hit:
+                    return value
+            result = yield from self._allreduce_impl(payload, op, algorithm, kwargs)
+            if outermost:
+                manager.record(self.world_rank, result)
+            return result
+        finally:
+            manager.exit_collective(self.world_rank)
+
+    def _allreduce_impl(
+        self, payload: Payload, op: ReduceOp, algorithm: Optional[str], kwargs
+    ) -> Generator:
         from repro.mpi.collectives.registry import resolve_allreduce
 
         fn = resolve_allreduce(algorithm, self)
@@ -381,6 +426,101 @@ class Comm:
         returns the list of blocks received, in source-rank order."""
         result = yield from self._coll("alltoall", algorithm, blocks, **kwargs)
         return result
+
+    # -- fault tolerance (ULFM-style) ---------------------------------------------------
+
+    def revoke(self) -> None:
+        """Revoke the communicator (``MPIX_Comm_revoke``).
+
+        Marks the shared group so *every* rank's view refuses new
+        point-to-point and collective traffic with
+        :class:`~repro.errors.CommRevokedError`.  Only :meth:`shrink`
+        and :meth:`agree` remain usable — the surviving ranks negotiate
+        a replacement communicator through them.  Idempotent and local
+        (no simulated time): the simulator's shared ``Group`` object
+        plays the role of ULFM's reliable revocation broadcast.
+        """
+        self.group.revoked = True
+
+    def _survivor_members(self) -> list[int]:
+        """Communicator ranks of members not on a confirmed-dead node.
+
+        Consults the runtime's recovery manager; without one, every
+        member counts as surviving.
+        """
+        manager = getattr(self.runtime, "recovery", None)
+        if manager is None or not manager.dead_nodes:
+            return list(range(self.size))
+        dead = manager.dead_ranks
+        return [
+            i for i, g in enumerate(self.group.ranks) if g not in dead
+        ]
+
+    def shrink(self) -> Generator:
+        """Collective over survivors: a fresh comm without the dead
+        (``MPIX_Comm_shrink``).
+
+        Ranks on nodes the recovery manager has confirmed dead are
+        excluded from the new group (and, being dead, never call);
+        every survivor must call.  Works on revoked communicators —
+        that is the point.  Like :meth:`split`, communicator
+        construction is free setup work and advances no simulated time.
+        """
+        members = self._survivor_members()
+        if self.rank not in members:
+            raise MPIError(
+                f"rank {self.rank} is on a confirmed-dead node and cannot "
+                f"take part in shrink()"
+            )
+        call_no = self._shrink_count
+        self._shrink_count += 1
+        key = ("shrink", self.group.context, call_no)
+        event, is_last, _ = self.runtime.gate_exchange(
+            key, len(members), self.rank
+        )
+        if is_last:
+            new_group = Group(
+                [self.group.ranks[i] for i in members],
+                self.runtime.next_context(),
+            )
+            event.succeed(new_group)
+        new_group = yield event
+        return Comm(self.runtime, new_group, self.world_rank)
+
+    def agree(self, value, op: str = "min") -> Generator:
+        """Deterministic agreement over survivors (``MPIX_Comm_agree``).
+
+        Every surviving rank contributes ``value``; all of them return
+        the same reduction of the contributions: ``"min"``, ``"max"``,
+        or ``"and"`` (logical conjunction — ULFM's flag semantics).
+        Order-independent by construction, so the agreed value is
+        deterministic regardless of arrival order.  Usable on revoked
+        communicators; free setup work like :meth:`shrink`.
+        """
+        if op not in ("min", "max", "and"):
+            raise MPIError(f"agree() op must be 'min', 'max', or 'and', got {op!r}")
+        members = self._survivor_members()
+        if self.rank not in members:
+            raise MPIError(
+                f"rank {self.rank} is on a confirmed-dead node and cannot "
+                f"take part in agree()"
+            )
+        call_no = self._agree_count
+        self._agree_count += 1
+        key = ("agree", self.group.context, call_no)
+        event, is_last, items = self.runtime.gate_exchange(
+            key, len(members), value
+        )
+        if is_last:
+            if op == "min":
+                agreed = min(items)
+            elif op == "max":
+                agreed = max(items)
+            else:
+                agreed = all(items)
+            event.succeed(agreed)
+        agreed = yield event
+        return agreed
 
     # -- communicator management -----------------------------------------------------------
 

@@ -21,7 +21,7 @@ import os
 from dataclasses import dataclass, field
 from typing import Any, Callable, Generator, Optional, Sequence, Union
 
-from repro.errors import ConfigError, DeadlockError, MPIError
+from repro.errors import ConfigError, DeadlockError, MPIError, TransportError
 from repro.machine.config import MachineConfig
 from repro.machine.machine import Machine
 from repro.mpi.comm import Comm, Group
@@ -89,12 +89,43 @@ def _as_injector(faults, machine: Machine, seed: int = 0):
     return faults
 
 
-class Runtime:
-    """MPI runtime for one job on one machine."""
+def _as_manager(recovery):
+    """Normalise a ``recovery=`` argument to a manager (or ``None``).
 
-    def __init__(self, machine: Machine, *, fidelity: Optional[str] = None):
+    Imported lazily so the runtime has no hard dependency on
+    :mod:`repro.resilience`; see
+    :func:`repro.resilience.manager.as_manager` for the accepted forms.
+    """
+    if recovery is None:
+        return None
+    from repro.resilience.manager import as_manager
+
+    return as_manager(recovery)
+
+
+class Runtime:
+    """MPI runtime for one job on one machine.
+
+    ``recovery`` attaches a resilience layer (``True``, a
+    :class:`~repro.resilience.policy.RecoveryPolicy`, or a pre-built
+    :class:`~repro.resilience.manager.RecoveryManager`): jobs launched
+    through this runtime then survive up to the policy's failover
+    budget of node failures instead of aborting on the first exhausted
+    transport retry.
+    """
+
+    def __init__(
+        self,
+        machine: Machine,
+        *,
+        fidelity: Optional[str] = None,
+        recovery=None,
+    ):
         self.machine = machine
         self.sim = machine.sim
+        #: Optional :class:`~repro.resilience.manager.RecoveryManager`
+        #: (``None`` when the job runs without a recovery layer).
+        self.recovery = _as_manager(recovery)
         #: Execution fidelity of collectives launched through this
         #: runtime (``"exact"`` or ``"hybrid"``); consulted by the
         #: collective registry at dispatch time.
@@ -275,24 +306,98 @@ class Runtime:
         args: Sequence = (),
         kwargs: Optional[dict] = None,
     ) -> "JobResult":
-        """Run ``fn(comm, *args, **kwargs)`` on every rank to completion."""
+        """Run ``fn(comm, *args, **kwargs)`` on every rank to completion.
+
+        With a recovery layer attached, a permanent transport failure
+        does not abort the job: the failure detector confirms a victim
+        node, the machine is reset, and the surviving ranks restart on
+        the same absolute clock (delayed past the failure time by the
+        policy's ``restart_latency``), replaying the collectives every
+        survivor had already completed.  See
+        :mod:`repro.resilience.manager` for the model.
+        """
         kwargs = kwargs or {}
-        faults = self.machine.faults
+        if self.recovery is None:
+            return self._launch_attempt(fn, args, kwargs)
+        return self._launch_recoverable(fn, args, kwargs)
+
+    def _launch_recoverable(self, fn: RankFn, args, kwargs) -> "JobResult":
+        """The failover loop around :meth:`_launch_attempt`."""
+        manager = self.recovery
+        manager.begin_job(self.machine)
+        if manager.degraded:
+            # Pinned dead nodes (survivor-only reference runs): start
+            # directly on the shrunk world.
+            self._world_group = Group(
+                manager.surviving_ranks(self.machine), context=0
+            )
+        while True:
+            try:
+                result = self._launch_attempt(
+                    fn, args, kwargs, start_delay=manager.restart_at
+                )
+            except TransportError as err:
+                manager.on_transport_error(err)
+                self._failover(manager)
+                continue
+            except DeadlockError:
+                if not manager.on_deadlock(self.machine, self.sim.now):
+                    raise
+                self._failover(manager)
+                continue
+            result.counters["resilience"] = manager.counters()
+            return result
+
+    def _failover(self, manager) -> None:
+        """Confirm a victim, reset the job, and shrink the world.
+
+        Raises :class:`~repro.errors.RecoveryError` (leaving the failed
+        simulation state inspectable) when the failure is
+        unrecoverable; otherwise the caller's loop relaunches on the
+        surviving ranks with the clock carried forward.
+        """
+        machine = self.machine
+        sanitizer = getattr(self.sim, "sanitizer", None)
+        manager.note_aborted_attempt(machine.faults)
+        manager.plan_failover(machine, self.sim.now, sanitizer)
+        # Full reset: the aborted attempt's in-flight events, matcher
+        # state, gates, and shm regions are debris of ranks that no
+        # longer exist.  Time is carried forward via start_delay, so
+        # fault windows stay on the same absolute axis.
+        machine.reset(
+            noise=machine.noise, timeline=machine.timeline,
+            faults=machine.faults,
+        )
+        self.reset()
+        self._world_group = Group(manager.surviving_ranks(machine), context=0)
+
+    def _launch_attempt(
+        self,
+        fn: RankFn,
+        args,
+        kwargs,
+        start_delay: float = 0.0,
+    ) -> "JobResult":
+        """One simulation of ``fn`` on the current world group."""
+        machine = self.machine
+        faults = machine.faults
         skewed = faults is not None and faults.has_arrival_skew
-        procs = []
-        for rank in range(self.machine.nranks):
-            comm = self.world_comm(rank)
+        members = self._world_group.ranks
+        procs = {}
+        for rank in members:
+            comm = Comm(self, self._world_group, rank)
             gen = fn(comm, *args, **kwargs)
             if not hasattr(gen, "send"):
                 raise MPIError(
                     f"rank function {getattr(fn, '__name__', fn)!r} must be a "
                     "generator (use 'yield from comm....' inside it)"
                 )
+            delay = start_delay
             if skewed:
-                delay = faults.arrival_delay(rank)
-                if delay > 0.0:
-                    gen = _skewed_start(self.sim, delay, gen)
-            procs.append(self.sim.process(gen, name=f"rank{rank}"))
+                delay += faults.arrival_delay(rank)
+            if delay > 0.0:
+                gen = _skewed_start(self.sim, delay, gen)
+            procs[rank] = self.sim.process(gen, name=f"rank{rank}")
         sanitizer = getattr(self.sim, "sanitizer", None)
         if sanitizer is not None:
             sanitizer.begin_run()
@@ -304,16 +409,21 @@ class Runtime:
             raise
         reports: list = []
         if sanitizer is not None:
+            if self.recovery is not None and self.recovery.degraded:
+                self.recovery.post_shrink_check(self, sanitizer)
             sanitizer.finalize(self)  # strict mode raises on any report
             reports = list(sanitizer.reports)
         counters = self.sim.counters()
         if faults is not None:
             counters["faults"] = faults.counters()
         return JobResult(
-            values=[p.value for p in procs],
+            values=[
+                procs[r].value if r in procs else None
+                for r in range(machine.nranks)
+            ],
             elapsed=self.sim.now,
-            machine=self.machine,
-            tracer=self.machine.tracer,
+            machine=machine,
+            tracer=machine.tracer,
             reports=reports,
             counters=counters,
         )
@@ -377,6 +487,7 @@ class SimSession:
         trace: bool = False,
         sanitize: Union[bool, Any, None] = None,
         fidelity: Optional[str] = None,
+        recovery=None,
     ):
         self.config = config
         self.nranks = nranks
@@ -384,8 +495,9 @@ class SimSession:
             config, nranks, ppn, sim=Simulator(sanitize=sanitize), trace=trace
         )
         self.ppn = self.machine.ppn
-        self.runtime = Runtime(self.machine, fidelity=fidelity)
+        self.runtime = Runtime(self.machine, fidelity=fidelity, recovery=recovery)
         self.fidelity = self.runtime.fidelity
+        self.recovery = self.runtime.recovery
         self.runs = 0  #: completed jobs (overhead accounting / debugging)
 
     @property
@@ -465,6 +577,7 @@ def run_job(
     faults=None,
     fault_seed: int = 0,
     fidelity: Optional[str] = None,
+    recovery=None,
     args: Sequence = (),
     kwargs: Optional[dict] = None,
 ) -> JobResult:
@@ -473,6 +586,13 @@ def run_job(
     ``fidelity`` selects the collective execution mode (``"exact"`` |
     ``"hybrid"``; ``None`` consults ``REPRO_FIDELITY``) — see
     :data:`FIDELITIES`.
+
+    ``recovery`` attaches a resilience layer (``True``, a
+    :class:`~repro.resilience.policy.RecoveryPolicy`, or a
+    :class:`~repro.resilience.manager.RecoveryManager`): permanent
+    transport failures then trigger failure detection and leader
+    failover instead of aborting, and the recovery record lands in
+    ``JobResult.counters["resilience"]``.
 
     ``sanitize`` enables the invariant sanitizer for this job: ``True``
     for a fresh strict :class:`~repro.check.sanitizer.Sanitizer`, a
@@ -506,5 +626,5 @@ def run_job(
         machine = Machine(config_or_machine, nranks, ppn, sim=sim, trace=trace)
     if faults is not None:
         machine.faults = _as_injector(faults, machine, fault_seed)
-    runtime = Runtime(machine, fidelity=fidelity)
+    runtime = Runtime(machine, fidelity=fidelity, recovery=recovery)
     return runtime.launch(fn, args=args, kwargs=kwargs)

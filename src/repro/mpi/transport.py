@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Generator, Optional
 
-from repro.errors import MPIError
+from repro.errors import MPIError, TransportError
 from repro.machine.machine import Machine
 from repro.mpi.matching import ANY, EAGER, RTS, Envelope, Matcher
 from repro.mpi.request import Request
@@ -132,8 +132,8 @@ class Transport:
         entering the edge first waits out any active
         :class:`~repro.faults.plan.LinkOutage` with the plan's capped
         exponential backoff (raising
-        :class:`~repro.errors.MPIError` once retries exhaust, attributed
-        to ``rank``), and any active
+        :class:`~repro.errors.TransportError` once retries exhaust,
+        attributed to ``rank`` and the edge), and any active
         :class:`~repro.faults.plan.LinkDegrade` scales the wire latency
         and per-chunk service — sampled once per message at injection
         time, so one message sees one consistent degradation level.
@@ -171,32 +171,44 @@ class Transport:
     ) -> Generator:
         """Spin on an outaged edge with capped exponential backoff.
 
-        Each failed attempt is counted against ``rank`` (surfaced in
-        ``JobResult.counters["faults"]``); once ``retry_limit`` retries
-        are spent while the edge is still down, the exhaustion is
-        recorded with the sanitizer (when one is attached) and
-        :class:`~repro.errors.MPIError` aborts the send.
+        Each failed attempt is counted against ``rank`` and the blocked
+        edge (surfaced in ``JobResult.counters["faults"]``); once
+        ``retry_limit`` retries are spent while the edge is still down,
+        the exhaustion is recorded with the sanitizer (when one is
+        attached) and a typed :class:`~repro.errors.TransportError`
+        (carrying ``rank``/``edge``/``sim_time``/``attempts``) aborts
+        the send — or, when a recovery policy is attached to the
+        runtime, feeds the failure detector and triggers a failover.
+
+        Loop structure (audited for ISSUE 7): each iteration either
+        returns (edge open), raises (budget spent while still blocked),
+        or performs exactly one counted retry followed by one backoff
+        sleep — the retry is counted *before* the sleep so an
+        interrupted backoff can never lose a performed retry, and no
+        statement is reachable after the raise.
         """
         sim = self.sim
+        edge = (src_node, dst_node)
         attempts = 0
         while True:
             blocked = faults.link_blocked_until(src_node, dst_node, sim.now)
             if blocked is None:
                 return
             if attempts >= faults.retry_limit:
-                faults.count_exhausted(rank)
+                faults.count_exhausted(rank, edge)
                 sanitizer = sim.sanitizer
                 if sanitizer is not None:
                     sanitizer.fault_retries_exhausted(
                         rank, src_node, dst_node, attempts, sim.now,
                         blocked_until=blocked,
                     )
-                raise MPIError(
+                raise TransportError(
                     f"rank {rank}: send over link {src_node}->{dst_node} "
                     f"still failing after {attempts} retry(ies); link down "
-                    f"until t={blocked:g}"
+                    f"until t={blocked:g}",
+                    rank=rank, edge=edge, sim_time=sim.now, attempts=attempts,
                 )
-            faults.count_retry(rank)
+            faults.count_retry(rank, edge)
             yield sim.timeout(faults.backoff(attempts))
             attempts += 1
 

@@ -1,0 +1,3 @@
+from repro.resilience.cli import main
+
+raise SystemExit(main())

@@ -1,0 +1,120 @@
+"""Command-line interface for the resilience layer.
+
+``python -m repro.resilience <subcommand>``:
+
+* ``soak`` — run the seeded chaos harness and print (or write) the
+  canonical JSON record; exits non-zero if any scenario violates the
+  recover-or-abort contract.
+* ``example`` — print a default :class:`RecoveryPolicy` as JSON (a
+  starting point for editing).
+* ``validate`` — parse + validate a policy file, print its content
+  hash.
+* ``describe`` — human-readable summary of a policy file.
+
+Mirrors ``python -m repro.faults``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.errors import ReproError
+from repro.resilience.policy import RecoveryPolicy
+from repro.resilience.soak import canonical_json, soak
+
+__all__ = ["main"]
+
+
+def _load(path: str) -> RecoveryPolicy:
+    try:
+        return RecoveryPolicy.load(path)
+    except FileNotFoundError:
+        raise SystemExit(f"error: no such file: {path}")
+    except ReproError as err:
+        raise SystemExit(f"error: {err}")
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    record = soak(
+        seed=args.seed,
+        scenarios=args.scenarios,
+        nodes=args.nodes,
+        ppn=args.ppn,
+        nbytes=args.nbytes,
+        sanitize=args.sanitize,
+    )
+    text = canonical_json(record)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(text)
+    else:
+        sys.stdout.write(text)
+    summary = record["summary"]
+    print(
+        f"soak: {summary['ok']}/{summary['total']} scenarios ok "
+        f"({', '.join(f'{k}={v}' for k, v in summary['outcomes'].items())})",
+        file=sys.stderr,
+    )
+    return 0 if summary["failures"] == 0 else 1
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    print(RecoveryPolicy().to_json())
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    policy = _load(args.policy)
+    print(f"ok: {args.policy} (hash {policy.policy_hash()})")
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    print(_load(args.policy).describe())
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.resilience",
+        description="Recovery policies and the seeded chaos harness.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_soak = sub.add_parser("soak", help="run the seeded chaos harness")
+    p_soak.add_argument("--seed", type=int, default=0)
+    p_soak.add_argument("--scenarios", type=int, default=6)
+    p_soak.add_argument("--nodes", type=int, default=3)
+    p_soak.add_argument("--ppn", type=int, default=2)
+    p_soak.add_argument("--nbytes", type=int, default=1024)
+    p_soak.add_argument(
+        "--sanitize", action="store_true",
+        help="run every job under the strict sanitizer",
+    )
+    p_soak.add_argument(
+        "--output", default=None,
+        help="write the canonical JSON record here instead of stdout",
+    )
+    p_soak.set_defaults(fn=_cmd_soak)
+
+    p_example = sub.add_parser(
+        "example", help="print a default recovery policy as JSON"
+    )
+    p_example.set_defaults(fn=_cmd_example)
+
+    p_validate = sub.add_parser(
+        "validate", help="validate a policy file and print its hash"
+    )
+    p_validate.add_argument("policy")
+    p_validate.set_defaults(fn=_cmd_validate)
+
+    p_describe = sub.add_parser(
+        "describe", help="summarise a policy file"
+    )
+    p_describe.add_argument("policy")
+    p_describe.set_defaults(fn=_cmd_describe)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)

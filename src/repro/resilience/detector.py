@@ -1,0 +1,152 @@
+"""Deterministic failure detection from transport signals.
+
+Real MPI fault tolerance starts with a failure detector: something
+turns low-level symptoms ("my send to node 3 keeps timing out") into a
+group-level verdict ("node 3 is dead").  In the simulator the symptoms
+are exact and deterministic, so the detector can be too — the same
+``(fault plan, recovery policy)`` pair always produces the same
+suspicion order, which is what makes recovered runs replayable.
+
+Three signal sources feed per-node suspicion scores:
+
+* **retry exhaustion** — a :class:`~repro.errors.TransportError`
+  names a failed ``(src_node, dst_node)`` edge; each *distinct* failed
+  edge adds one incidence count to both endpoints, and one
+  destination-hit to the unreachable peer (you suspect the node you
+  cannot reach before you suspect yourself);
+* **heartbeat timeout** — the deadlock path: a node that has sat
+  behind an active outage for longer than the policy's
+  ``heartbeat_timeout`` has missed its heartbeats and is charged a
+  full ``suspect_after`` worth of incidence;
+* **probe round** — before confirming, the runtime sweeps every
+  directed node pair against the injector's link state (the simulated
+  analogue of a ping sweep).  An isolated node touches ``2*(h-1)``
+  blocked edges and dominates the scores, which disambiguates the
+  common case where the *victim's own* send raised first (its edge
+  alone would wrongly implicate the healthy destination).
+
+Suspicion is resolved by :meth:`FailureDetector.suspect`: the node with
+the lexicographically largest ``(incidence, dst_hits, node)`` tuple
+among those at or above the policy threshold.  Ties therefore break
+deterministically toward destination-side evidence, then toward the
+higher node id.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.resilience.policy import RecoveryPolicy
+
+__all__ = ["FailureDetector"]
+
+
+class FailureDetector:
+    """Accumulates failure evidence and names suspects deterministically."""
+
+    def __init__(self, policy: RecoveryPolicy):
+        self.policy = policy
+        #: distinct failed edges observed, (src_node, dst_node)
+        self._edges: set[tuple[int, int]] = set()
+        self._incidence: dict[int, int] = {}
+        self._dst_hits: dict[int, int] = {}
+        #: exhaustion signals in arrival order (JSON-ready dicts)
+        self.signals: list[dict] = []
+        #: confirmed-dead nodes, in confirmation order
+        self.confirmed: list[int] = []
+
+    # -- signal intake -------------------------------------------------------
+
+    def observe_exhaustion(
+        self, rank: int, src_node: int, dst_node: int,
+        sim_time: float, attempts: int,
+    ) -> None:
+        """Feed one retry-exhaustion signal (a ``TransportError``)."""
+        self.signals.append({
+            "signal": "retry-exhausted",
+            "rank": rank,
+            "edge": [src_node, dst_node],
+            "time": float(sim_time),
+            "attempts": attempts,
+        })
+        edge = (src_node, dst_node)
+        if edge in self._edges:
+            return
+        self._edges.add(edge)
+        self._bump(self._incidence, src_node)
+        self._bump(self._incidence, dst_node)
+        self._bump(self._dst_hits, dst_node)
+
+    def observe_heartbeat_timeout(self, node: int, sim_time: float) -> None:
+        """A node's heartbeats have been missing past the policy window."""
+        self.signals.append({
+            "signal": "heartbeat-timeout",
+            "node": node,
+            "time": float(sim_time),
+        })
+        self._bump(self._incidence, node, self.policy.suspect_after)
+        self._bump(self._dst_hits, node, self.policy.suspect_after)
+
+    def probe(self, faults, nnodes: int, now: float) -> None:
+        """Ping-sweep every directed edge against the injector state.
+
+        Each blocked edge found adds incidence to both endpoints (once
+        per distinct edge, shared with the exhaustion bookkeeping).
+        """
+        if faults is None or not faults.has_link_outage:
+            return
+        for src in range(nnodes):
+            for dst in range(nnodes):
+                if src == dst or (src, dst) in self._edges:
+                    continue
+                if faults.link_blocked_until(src, dst, now) is not None:
+                    self._edges.add((src, dst))
+                    self._bump(self._incidence, src)
+                    self._bump(self._incidence, dst)
+                    self._bump(self._dst_hits, dst)
+
+    @staticmethod
+    def _bump(table: dict, node: int, amount: int = 1) -> None:
+        table[node] = table.get(node, 0) + amount
+
+    # -- verdicts ------------------------------------------------------------
+
+    def suspect(self) -> Optional[int]:
+        """The strongest not-yet-confirmed suspect, or ``None``.
+
+        Deterministic: the maximum ``(incidence, dst_hits, node)``
+        tuple among nodes whose incidence meets the policy's
+        ``suspect_after`` threshold.
+        """
+        best: Optional[tuple[int, int, int]] = None
+        for node, incidence in self._incidence.items():
+            if node in self.confirmed or incidence < self.policy.suspect_after:
+                continue
+            key = (incidence, self._dst_hits.get(node, 0), node)
+            if best is None or key > best:
+                best = key
+        return None if best is None else best[2]
+
+    def confirm(self, node: int) -> None:
+        """Mark ``node`` dead; it never becomes a suspect again."""
+        if node not in self.confirmed:
+            self.confirmed.append(node)
+
+    # -- telemetry -----------------------------------------------------------
+
+    def counters(self) -> dict:
+        """Deterministic, JSON-ready snapshot."""
+        return {
+            "signals": list(self.signals),
+            "incidence": {
+                str(node): self._incidence[node]
+                for node in sorted(self._incidence)
+            },
+            "confirmed": list(self.confirmed),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<FailureDetector {len(self.signals)} signal(s), "
+            f"confirmed={self.confirmed}>"
+        )

@@ -1,0 +1,116 @@
+"""FailureDetector: attribution, probing, heartbeats, determinism."""
+
+from repro.faults import FaultPlan, LinkOutage
+from repro.machine.clusters import cluster_b
+from repro.machine.machine import Machine
+from repro.mpi.runtime import _as_injector
+from repro.resilience import FailureDetector, RecoveryPolicy
+
+
+def make_injector(plan, nodes=3, ppn=2, seed=0):
+    machine = Machine(cluster_b(nodes), nodes * ppn, ppn)
+    return _as_injector(plan, machine, seed)
+
+
+class TestExhaustionSignals:
+    def test_destination_preferred_over_source(self):
+        # One exhausted edge 0->2: both endpoints get incidence, but the
+        # unreachable destination carries the dst-hit and wins the tie.
+        det = FailureDetector(RecoveryPolicy())
+        det.observe_exhaustion(0, 0, 2, 1e-5, 3)
+        assert det.suspect() == 2
+
+    def test_duplicate_edges_counted_once(self):
+        det = FailureDetector(RecoveryPolicy(suspect_after=2))
+        det.observe_exhaustion(0, 0, 2, 1e-5, 3)
+        det.observe_exhaustion(1, 0, 2, 2e-5, 3)
+        assert det.suspect() is None  # same edge: incidence stays 1
+        det.observe_exhaustion(0, 1, 2, 3e-5, 3)
+        assert det.suspect() == 2  # second distinct edge into node 2
+
+    def test_threshold_respected(self):
+        det = FailureDetector(RecoveryPolicy(suspect_after=3))
+        det.observe_exhaustion(0, 0, 2, 1e-5, 3)
+        det.observe_exhaustion(0, 1, 2, 2e-5, 3)
+        assert det.suspect() is None
+
+    def test_signals_are_logged_in_order(self):
+        det = FailureDetector(RecoveryPolicy())
+        det.observe_exhaustion(4, 2, 1, 1e-5, 6)
+        det.observe_heartbeat_timeout(1, 2e-5)
+        kinds = [s["signal"] for s in det.signals]
+        assert kinds == ["retry-exhausted", "heartbeat-timeout"]
+        assert det.signals[0]["edge"] == [2, 1]
+        assert det.signals[0]["attempts"] == 6
+
+
+class TestProbeRound:
+    def test_probe_disambiguates_isolated_victim(self):
+        # The victim's own send to a healthy peer raises first: edge
+        # (2, 0) alone would implicate healthy node 0.  The probe sweep
+        # sees node 2 isolated (every edge touching it blocked) and its
+        # incidence dominates.
+        plan = FaultPlan(faults=(
+            LinkOutage(src=2, dst=None, start=0.0, duration=None),
+            LinkOutage(src=None, dst=2, start=0.0, duration=None),
+        ))
+        faults = make_injector(plan)
+        det = FailureDetector(RecoveryPolicy())
+        det.observe_exhaustion(4, 2, 0, 1e-5, 3)
+        det.probe(faults, nnodes=3, now=1e-5)
+        assert det.suspect() == 2
+
+    def test_probe_noop_without_outages(self):
+        det = FailureDetector(RecoveryPolicy())
+        det.probe(None, nnodes=3, now=0.0)
+        assert det.suspect() is None
+
+    def test_probe_before_outage_start_sees_nothing(self):
+        plan = FaultPlan(faults=(
+            LinkOutage(src=2, dst=None, start=1e-3, duration=None),
+        ))
+        faults = make_injector(plan)
+        det = FailureDetector(RecoveryPolicy())
+        det.probe(faults, nnodes=3, now=1e-5)
+        assert det.suspect() is None
+
+
+class TestHeartbeat:
+    def test_heartbeat_timeout_charges_full_threshold(self):
+        det = FailureDetector(RecoveryPolicy(suspect_after=4))
+        det.observe_heartbeat_timeout(1, 5e-3)
+        assert det.suspect() == 1
+
+
+class TestConfirmation:
+    def test_confirmed_nodes_never_suspected_again(self):
+        det = FailureDetector(RecoveryPolicy())
+        det.observe_exhaustion(0, 0, 2, 1e-5, 3)
+        assert det.suspect() == 2
+        det.confirm(2)
+        assert det.suspect() != 2
+
+    def test_next_suspect_after_confirmation(self):
+        det = FailureDetector(RecoveryPolicy())
+        det.observe_exhaustion(0, 0, 2, 1e-5, 3)
+        det.confirm(2)
+        det.observe_exhaustion(0, 3, 1, 2e-5, 3)
+        assert det.suspect() == 1
+
+    def test_repeated_source_implicates_the_common_endpoint(self):
+        # Two distinct edges out of node 0 to different peers: the
+        # common endpoint (node 0's own NIC) carries incidence 2 and
+        # outranks either single-hit destination.
+        det = FailureDetector(RecoveryPolicy())
+        det.observe_exhaustion(0, 0, 2, 1e-5, 3)
+        det.observe_exhaustion(0, 0, 1, 2e-5, 3)
+        assert det.suspect() == 0
+
+    def test_counters_snapshot(self):
+        det = FailureDetector(RecoveryPolicy())
+        det.observe_exhaustion(0, 0, 2, 1e-5, 3)
+        det.confirm(2)
+        snap = det.counters()
+        assert snap["confirmed"] == [2]
+        assert snap["incidence"] == {"0": 1, "2": 1}
+        assert len(snap["signals"]) == 1

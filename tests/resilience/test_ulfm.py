@@ -1,0 +1,113 @@
+"""ULFM-style primitives on Comm: revoke / shrink / agree."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CommRevokedError, MPIError
+from repro.machine.clusters import cluster_b
+from repro.mpi.runtime import run_job
+from repro.payload import SUM, make_payload
+
+
+def test_revoke_poisons_collectives_and_p2p():
+    def fn(comm):
+        comm.revoke()
+        outcomes = []
+        try:
+            yield from comm.allreduce(
+                make_payload(4, data=np.ones(4)), SUM
+            )
+        except CommRevokedError as err:
+            outcomes.append("collective")
+            assert "revoked" in str(err)
+        try:
+            comm.isend(b"x", (comm.rank + 1) % comm.size, tag=9)
+        except CommRevokedError:
+            outcomes.append("isend")
+        try:
+            comm.irecv((comm.rank - 1) % comm.size, tag=9)
+        except CommRevokedError:
+            outcomes.append("irecv")
+        return outcomes
+
+    job = run_job(cluster_b(2), 4, fn, ppn=2)
+    assert all(v == ["collective", "isend", "irecv"] for v in job.values)
+
+
+def test_revoke_by_one_rank_is_visible_to_all():
+    def fn(comm):
+        if comm.rank == 0:
+            comm.revoke()
+        # Everyone advances simulated time, then observes the flag.
+        yield comm.sim.timeout(1e-5)
+        return comm.group.revoked
+
+    job = run_job(cluster_b(2), 4, fn, ppn=2)
+    assert job.values == [True, True, True, True]
+
+
+def test_shrink_yields_working_communicator_with_fresh_context():
+    def fn(comm):
+        comm.revoke()
+        new_comm = yield from comm.shrink()
+        # The revoked communicator still refuses work...
+        with pytest.raises(CommRevokedError):
+            new_comm_unused = yield from comm.allreduce(
+                make_payload(4, data=np.ones(4)), SUM
+            )
+        # ...but the shrunk one is fully operational.
+        result = yield from new_comm.allreduce(
+            make_payload(4, data=np.full(4, float(new_comm.rank))), SUM
+        )
+        return (
+            new_comm.group.context,
+            new_comm.size,
+            list(result.array),
+        )
+
+    job = run_job(cluster_b(2), 4, fn, ppn=2)
+    contexts = {v[0] for v in job.values}
+    assert contexts != {0} and len(contexts) == 1
+    expected = [6.0] * 4  # 0+1+2+3
+    assert all(v[1] == 4 and v[2] == expected for v in job.values)
+
+
+def test_consecutive_shrinks_get_distinct_contexts():
+    def fn(comm):
+        first = yield from comm.shrink()
+        second = yield from comm.shrink()
+        return (first.group.context, second.group.context)
+
+    job = run_job(cluster_b(2), 4, fn, ppn=2)
+    firsts = {v[0] for v in job.values}
+    seconds = {v[1] for v in job.values}
+    assert len(firsts) == 1 and len(seconds) == 1
+    assert firsts != seconds
+
+
+class TestAgree:
+    @staticmethod
+    def run(op, values_by_rank):
+        def fn(comm):
+            agreed = yield from comm.agree(values_by_rank[comm.rank], op=op)
+            return agreed
+
+        return run_job(cluster_b(2), 4, fn, ppn=2).values
+
+    def test_min(self):
+        assert self.run("min", [7, 3, 9, 5]) == [3, 3, 3, 3]
+
+    def test_max(self):
+        assert self.run("max", [7, 3, 9, 5]) == [9, 9, 9, 9]
+
+    def test_and(self):
+        assert self.run("and", [True, True, False, True]) == [False] * 4
+        assert self.run("and", [True, True, True, True]) == [True] * 4
+
+    def test_unknown_op_rejected(self):
+        def fn(comm):
+            agreed = yield from comm.agree(1, op="xor")
+            return agreed
+
+        with pytest.raises(MPIError, match="agree"):
+            run_job(cluster_b(2), 4, fn, ppn=2)
