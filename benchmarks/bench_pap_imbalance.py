@@ -41,7 +41,16 @@ from repro.payload.payload import SymbolicPayload
 DEFAULT_SKEWS = (0.0, 5e-5, 2e-4, 1e-3)
 
 #: Default algorithm panel (>= 3, per the resilience-curve requirement).
-DEFAULT_ALGORITHMS = ("dpml", "rabenseifner", "adaptive")
+#: DPML and the library baseline plus the literature families, so the
+#: imbalance curves compare the paper's design against its competitors.
+DEFAULT_ALGORITHMS = (
+    "dpml",
+    "rabenseifner",
+    "dualroot_pipelined",
+    "optimal_rsag",
+    "generalized",
+    "adaptive",
+)
 
 FLOAT_BYTES = 4
 

@@ -42,6 +42,7 @@ __all__ = [
     "fig8_sharp",
     "fig9_libraries",
     "fig10_scale",
+    "families_comparison",
     "fig11a_hpcg",
     "fig11bc_miniamr",
     "model_validation",
@@ -272,6 +273,45 @@ def fig10_scale(
     )
 
 
+# --------------------------------------------- literature family comparison
+
+
+def families_comparison(
+    iterations: int = 2, sizes: Optional[Sequence[int]] = None
+) -> FigureResult:
+    """DPML vs the competing literature allreduce families (Cluster B).
+
+    Not a paper figure: runs the ``families`` named sweep — the Figure
+    9(b) layout with Träff's doubly-pipelined dual-root tree, the
+    optimal non-pipelined reduce-scatter/allgather construction, and
+    Kolmakov & Zhang's generalized allreduce next to MVAPICH2 and the
+    tuned DPML — so EXPERIMENTS.md records how the paper's design
+    fares against the designs it competes with in the literature.
+    """
+    spec = algorithm_sweep_spec("families", sizes=sizes, iterations=iterations)
+    result = _run_sweep(spec)
+    data = result.by_size_algorithm()
+    algorithms = list(spec.algorithms)
+    rows = []
+    for s in spec.sizes:
+        best = min(data[s], key=data[s].get)
+        rows.append(
+            {
+                "size": format_size(s),
+                **{alg: format_us(data[s][alg]) for alg in algorithms},
+                "best": best,
+                "vs-dpml": f"{data[s]['dpml_tuned'] / data[s][best]:.2f}x",
+            }
+        )
+    return FigureResult(
+        name="Literature families vs DPML, Cluster B (us)",
+        rows=rows,
+        columns=["size"] + algorithms + ["best", "vs-dpml"],
+        meta={**_scale_meta(spec.nodes, spec.ppn), "data": data,
+              "spec_hash": spec.spec_hash()},
+    )
+
+
 # ------------------------------------------------------------ Figure 11
 
 
@@ -456,6 +496,7 @@ FIGURES: dict[str, Callable[[], FigureResult]] = {
     "fig9c": lambda: fig9_libraries("c"),
     "fig9d": lambda: fig9_libraries("d"),
     "fig10": fig10_scale,
+    "families": families_comparison,
     "fig11a": fig11a_hpcg,
     "fig11bc": fig11bc_miniamr,
     "model": model_validation,

@@ -646,6 +646,15 @@ _ALGORITHM_SWEEPS = {
     "fig10": (
         "d", 160, 64, None, SCALE_SIZES, ("mvapich2", "intel_mpi", "dpml_tuned"),
     ),
+    # Not a paper figure: DPML vs the competing literature families
+    # (Träff dual-root, optimal RS/AG, Kolmakov-Zhang generalized) on
+    # the Figure 9(b) layout.  Appended after the fig* sweeps so their
+    # spec hashes stay untouched.
+    "families": (
+        "b", 64, 16, 28, PAPER_SIZES,
+        ("mvapich2", "dpml_tuned", "dualroot_pipelined", "optimal_rsag",
+         "generalized"),
+    ),
 }
 
 #: Leader counts of the Figures 4-7 studies.

@@ -1,0 +1,182 @@
+"""Registry conformance audit: no allreduce algorithm dodges the oracle.
+
+The validation strategy only works if it is *closed over the registry*:
+every registered allreduce must be reachable by the differential oracle
+(``python -m repro.check`` iterates the registry), must either have a
+calibrated cost band (:data:`repro.check.oracle.predictable`) or an
+explicit entry in the :data:`COST_MODEL_EXEMPT` ledger saying why the
+Section 5 model cannot price it, and must ride the golden-determinism
+grid (registry-parametrized in ``tests/mpi/test_golden_determinism``)
+unless :data:`GOLDEN_EXEMPT` records why it cannot.
+
+:func:`audit_registry` re-derives all of that from the live registry
+and returns the violations as strings; the meta-test asserts the list
+is empty, so registering a new algorithm without wiring its coverage
+fails CI with a message naming the missing piece.  Exemption ledgers
+are audited too — a stale entry (naming an unregistered algorithm, or
+claiming unpredictability for an algorithm the model now prices) is
+itself a violation, so the ledgers cannot rot into loopholes.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "COST_MODEL_EXEMPT",
+    "GOLDEN_EXEMPT",
+    "REFERENCE_SHAPE",
+    "audit_registry",
+]
+
+#: Registered allreduce algorithms the Section 5 cost model does not
+#: describe, with the reason.  ``predict_allreduce`` must return None
+#: for exactly these names; everything else must be priced.
+COST_MODEL_EXEMPT: dict[str, str] = {
+    "adaptive": "online selector: its cost is whichever candidate wins",
+    "dpml_multilevel": "socket-aware multilevel layout outside Table 1",
+    "dpml_tuned": "size-dependent dispatch to other registered entries",
+    "flat_auto": "library selector dispatching per message size",
+    "intel_mpi": "library selector dispatching per message size",
+    "mvapich2": "library selector dispatching per message size",
+    "rabenseifner": "pow2-fold phase structure not covered by Eq. 1-7",
+    "reduce_bcast": "reduce+bcast tree composition has no closed form",
+    "ring": "link-serialised ring schedule outside the Eq. 1-7 terms",
+    "ring_segmented": "link-serialised ring schedule outside Eq. 1-7",
+    "sharp_node_leader": "switch-offload timing is not host alpha-beta",
+    "sharp_socket_leader": "switch-offload timing is not host alpha-beta",
+}
+
+#: Algorithms excused from the golden-determinism grid (hybrid-vs-exact
+#: bit-identity on the (16, 4, 4) layout), with the reason.  Currently
+#: empty: every registered algorithm runs there.
+GOLDEN_EXEMPT: dict[str, str] = {}
+
+#: (p, h, n) shape the audit prices plans and predictions on.
+REFERENCE_SHAPE = (16, 4, 1024)
+
+
+def _check_ledgers(registered: set, violations: list) -> None:
+    """Ledger hygiene: entries name registered algorithms and carry reasons."""
+    for ledger_name, ledger in (
+        ("COST_MODEL_EXEMPT", COST_MODEL_EXEMPT),
+        ("GOLDEN_EXEMPT", GOLDEN_EXEMPT),
+    ):
+        for name, reason in ledger.items():
+            if name not in registered:
+                violations.append(
+                    f"{ledger_name} names {name!r}, which is not a "
+                    "registered allreduce (stale ledger entry)"
+                )
+            if not (isinstance(reason, str) and reason.strip()):
+                violations.append(
+                    f"{ledger_name}[{name!r}] has no reason string"
+                )
+
+
+def _check_cost_coverage(registered: set, violations: list) -> None:
+    """Every algorithm is priced or exempted — never both, never neither."""
+    from repro.check.oracle import predictable
+    from repro.core.model import CostModel
+    from repro.machine.clusters import cluster_b
+
+    p, h, n = REFERENCE_SHAPE
+    model = CostModel.from_machine(cluster_b(h), n)
+    for name in sorted(registered):
+        priced = name in predictable
+        exempt = name in COST_MODEL_EXEMPT
+        if priced and exempt:
+            violations.append(
+                f"{name!r} is both predictable and COST_MODEL_EXEMPT; "
+                "drop one"
+            )
+        if not priced and not exempt:
+            violations.append(
+                f"{name!r} has no calibrated cost band: add it to "
+                "oracle.predictable (with a predict_allreduce closed "
+                "form) or record why in COST_MODEL_EXEMPT"
+            )
+        predicted = model.predict_allreduce(name, p=p, h=h, n=n)
+        if priced and not (
+            predicted is not None
+            and math.isfinite(predicted)
+            and predicted >= 0.0
+        ):
+            violations.append(
+                f"{name!r} is declared predictable but "
+                f"predict_allreduce returned {predicted!r} on "
+                f"(p, h, n)={REFERENCE_SHAPE}"
+            )
+        if exempt and predicted is not None:
+            violations.append(
+                f"{name!r} is COST_MODEL_EXEMPT but predict_allreduce "
+                f"priced it ({predicted!r}): promote it to "
+                "oracle.predictable instead"
+            )
+
+
+def _check_phase_plans(registered: set, violations: list) -> None:
+    """Plans and closed forms cover the same algorithms, consistently."""
+    from repro.check.oracle import predictable
+    from repro.core.model import CostModel
+    from repro.machine.clusters import cluster_b
+    from repro.mpi.collectives.registry import resolve_phase_plan
+
+    p, h, n = REFERENCE_SHAPE
+    model = CostModel.from_machine(cluster_b(h), n)
+    planned = {
+        name for name in registered if resolve_phase_plan(name) is not None
+    }
+    for name in sorted(planned):
+        plan = resolve_phase_plan(name)
+        if plan.algorithm != name:
+            violations.append(
+                f"phase plan registered under {name!r} prices "
+                f"{plan.algorithm!r}; the names must match"
+            )
+        if not plan.phase_names:
+            violations.append(f"phase plan of {name!r} has no phases")
+        if name not in predictable:
+            violations.append(
+                f"{name!r} macro-charges in hybrid mode but has no "
+                "calibrated closed form (not in oracle.predictable); "
+                "its charges would be unauditable"
+            )
+            continue
+        charges = plan.charges(model, p=p, h=h, n=n)
+        bad = [
+            (phase, t) for phase, t in charges
+            if phase not in plan.phase_names
+            or not (math.isfinite(t) and t >= 0.0)
+        ]
+        if bad:
+            violations.append(
+                f"phase plan of {name!r} produced invalid charges "
+                f"{bad!r} on (p, h, n)={REFERENCE_SHAPE}"
+            )
+    for name in sorted(set(predictable) & registered):
+        if name not in planned:
+            violations.append(
+                f"{name!r} has a calibrated closed form but no phase "
+                "plan: hybrid fidelity would silently fall back to "
+                "exact; register a plan (or drop it from predictable)"
+            )
+
+
+def audit_registry() -> list[str]:
+    """Audit the live allreduce registry; return violations (empty = OK).
+
+    Golden-determinism and sanitized-conformance coverage are
+    registry-parametrized at collection time, so any registered
+    algorithm is automatically *scheduled* there; this audit closes the
+    remaining gaps — cost-band coverage, exemption-ledger hygiene, and
+    phase-plan consistency — that parametrization alone cannot see.
+    """
+    from repro.mpi.collectives.registry import available_algorithms
+
+    registered = set(available_algorithms())
+    violations: list[str] = []
+    _check_ledgers(registered, violations)
+    _check_cost_coverage(registered, violations)
+    _check_phase_plans(registered, violations)
+    return violations

@@ -54,9 +54,18 @@ __all__ = [
 #: constant-factor modelling slack.  See docs/sanitizer.md.
 DEFAULT_BAND: tuple[float, float] = (0.2, 15.0)
 
-#: Algorithms the Section 5 model describes (everything else skips the
+#: Algorithms with a calibrated closed form — the Section 5 equations
+#: plus the literature families' flat costs (everything else skips the
 #: cost check; see :meth:`CostModel.predict_allreduce`).
-predictable = ("recursive_doubling", "hierarchical", "dpml", "dpml_pipelined")
+predictable = (
+    "recursive_doubling",
+    "hierarchical",
+    "dpml",
+    "dpml_pipelined",
+    "dualroot_pipelined",
+    "optimal_rsag",
+    "generalized",
+)
 
 
 @dataclass

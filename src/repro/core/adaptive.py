@@ -27,12 +27,20 @@ from repro.payload.payload import DataPayload, Payload
 __all__ = ["allreduce_adaptive", "AdaptiveState", "DEFAULT_CANDIDATES"]
 
 #: (algorithm, kwargs) configurations the explorer tries, in order.
+#: The DPML leader ladder comes first (the paper's own tuning axis),
+#: then the classic flat baselines, then the literature families
+#: (:mod:`repro.mpi.collectives.dualroot` / ``optimal_rsag`` /
+#: ``generalized``) so the selector can beat DPML with a competing
+#: design when the topology favours one.
 DEFAULT_CANDIDATES: tuple[tuple[str, dict], ...] = (
     ("dpml", {"leaders": 1}),
     ("dpml", {"leaders": 4}),
     ("dpml", {"leaders": 16}),
     ("rabenseifner", {}),
     ("recursive_doubling", {}),
+    ("dualroot_pipelined", {}),
+    ("optimal_rsag", {}),
+    ("generalized", {}),
 )
 
 

@@ -1,0 +1,55 @@
+"""Phase plans of the literature allreduce families.
+
+The DPML-family plans live next to their cost equations in
+:mod:`repro.core.phases`; this module prices the competing designs
+from the literature — Träff's doubly-pipelined dual-root tree,
+the optimal non-pipelined reduce-scatter/allgather construction, and
+Kolmakov & Zhang's generalized allreduce — so hybrid fidelity can
+macro-charge them too (:mod:`repro.mpi.collectives.hybrid`).
+
+All three are flat (no intra-node leader structure), so each plan is a
+single ``exchange`` phase priced by the matching
+:class:`~repro.core.model.CostModel` closed form; the registry merges
+these with :func:`repro.core.phases.default_phase_plans` at
+population time.  Algorithm keywords that shape the exchange
+(``segment_bytes``, ``radices``) flow through to the pricing, so a
+macro charge always prices the structure the exact path would run.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import CostModel
+from repro.core.phases import PhasePlan
+
+__all__ = ["literature_phase_plans"]
+
+
+def _charge_dualroot_pipelined(
+    model: CostModel, *, p, h, n, segment_bytes=None, **_kw
+):
+    return (
+        ("exchange", model.t_dualroot_pipelined(p, n, segment_bytes=segment_bytes)),
+    )
+
+
+def _charge_optimal_rsag(model: CostModel, *, p, h, n, **_kw):
+    return (("exchange", model.t_optimal_rsag(p, n)),)
+
+
+def _charge_generalized(model: CostModel, *, p, h, n, radices=None, **_kw):
+    return (("exchange", model.t_generalized(p, n, radices)),)
+
+
+def literature_phase_plans() -> dict:
+    """Name → :class:`PhasePlan` for the literature families."""
+    return {
+        "dualroot_pipelined": PhasePlan(
+            "dualroot_pipelined", ("exchange",), _charge_dualroot_pipelined
+        ),
+        "optimal_rsag": PhasePlan(
+            "optimal_rsag", ("exchange",), _charge_optimal_rsag
+        ),
+        "generalized": PhasePlan(
+            "generalized", ("exchange",), _charge_generalized
+        ),
+    }

@@ -83,6 +83,9 @@ def _populate() -> None:
     )
     from repro.mpi.collectives.gather_scatter import gather_binomial, scatter_binomial
     from repro.mpi.collectives.knomial import bcast_knomial, reduce_knomial
+    from repro.mpi.collectives.dualroot import allreduce_dualroot_pipelined
+    from repro.mpi.collectives.generalized import allreduce_generalized
+    from repro.mpi.collectives.optimal_rsag import allreduce_optimal_rsag
     from repro.mpi.collectives.rabenseifner import allreduce_rabenseifner
     from repro.mpi.collectives.recursive_doubling import allreduce_recursive_doubling
     from repro.mpi.collectives.reduce_scatter import (
@@ -107,6 +110,9 @@ def _populate() -> None:
         "rabenseifner": allreduce_rabenseifner,
         "ring": allreduce_ring,
         "ring_segmented": allreduce_ring_segmented,
+        "dualroot_pipelined": allreduce_dualroot_pipelined,
+        "optimal_rsag": allreduce_optimal_rsag,
+        "generalized": allreduce_generalized,
         "reduce_bcast": allreduce_reduce_bcast,
         "hierarchical": allreduce_hierarchical,
         "dpml": allreduce_dpml,
@@ -161,8 +167,11 @@ def _populate() -> None:
     register_collective("alltoall", "bruck", alltoall_bruck)
 
     from repro.core.phases import default_phase_plans
+    from repro.mpi.collectives.phases import literature_phase_plans
 
     for name, plan in default_phase_plans().items():
+        register_phase_plan(name, plan)
+    for name, plan in literature_phase_plans().items():
         register_phase_plan(name, plan)
 
 
@@ -215,6 +224,12 @@ def resolve_collective(kind: str, name: Optional[str], comm) -> CollectiveFn:
             from repro.mpi.collectives.hybrid import make_hybrid_allreduce
 
             return make_hybrid_allreduce(key, fn, plan)
+        # Hybrid mode asked for macro-charging but this algorithm has
+        # no phase plan: run exact, but *count* the fallback so the
+        # silent downgrade is visible in JobResult.counters.
+        fallbacks = getattr(comm.runtime, "hybrid_plan_fallbacks", None)
+        if fallbacks is not None:
+            fallbacks[key] = fallbacks.get(key, 0) + 1
     return fn
 
 

@@ -133,6 +133,11 @@ class Runtime:
         #: Optional :class:`~repro.core.phases.PhaseProbe` recording
         #: exact-execution phase windows for the spot-check oracle.
         self.phase_probe = None
+        #: algorithm name -> times a hybrid-mode dispatch had no
+        #: registered phase plan and ran exact instead; surfaced in
+        #: ``JobResult.counters["hybrid_plan_fallbacks"]`` so planless
+        #: algorithms cannot silently defeat macro-charging.
+        self.hybrid_plan_fallbacks: dict[str, int] = {}
         self.transport = Transport(machine)
         self._context_counter = itertools.count(1)
         self._world_group = Group(range(machine.nranks), context=0)
@@ -159,6 +164,7 @@ class Runtime:
         self._shm_regions.clear()
         self._gates.clear()
         self._done_gates.clear()
+        self.hybrid_plan_fallbacks.clear()
         return self
 
     def shm_region(self, node: int) -> ShmRegion:
@@ -416,6 +422,8 @@ class Runtime:
         counters = self.sim.counters()
         if faults is not None:
             counters["faults"] = faults.counters()
+        if self.fidelity == "hybrid":
+            counters["hybrid_plan_fallbacks"] = dict(self.hybrid_plan_fallbacks)
         return JobResult(
             values=[
                 procs[r].value if r in procs else None

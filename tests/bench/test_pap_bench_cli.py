@@ -1,0 +1,50 @@
+"""CLI smoke tests for ``benchmarks/bench_pap_imbalance.py``.
+
+The faults-smoke CI job runs the script twice and diffs the canonical
+JSON; these tests keep that contract honest from tier-1 — including
+for the ``--algorithms`` panel carrying the literature families — on a
+layout small enough for the unit suite.
+"""
+
+import importlib.util
+import json
+from pathlib import Path
+
+_BENCH_PATH = (
+    Path(__file__).resolve().parents[2] / "benchmarks" / "bench_pap_imbalance.py"
+)
+_spec = importlib.util.spec_from_file_location("_pap_bench", _BENCH_PATH)
+bench = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(bench)
+
+FAMILIES = ("dualroot_pipelined", "optimal_rsag", "generalized")
+
+
+def test_default_panel_carries_literature_families():
+    assert set(FAMILIES) <= set(bench.DEFAULT_ALGORITHMS)
+    assert len(bench.DEFAULT_ALGORITHMS) >= 3  # resilience-curve floor
+
+
+def test_cli_algorithms_panel_is_byte_deterministic(tmp_path, capsys):
+    """Two seeded ``--algorithms`` runs write byte-identical JSON."""
+    argv_for = lambda out: [
+        "--nodes", "2", "--ppn", "2", "--iterations", "2",
+        "--skews", "0.0,2e-4",
+        "--algorithms", ",".join(FAMILIES),
+        "--sanitize", "--output", str(out),
+    ]
+    first, second = tmp_path / "a.json", tmp_path / "b.json"
+    assert bench.main(argv_for(first)) == 0
+    assert bench.main(argv_for(second)) == 0
+    capsys.readouterr()  # swallow the printed tables
+    assert first.read_bytes() == second.read_bytes()
+    record = json.loads(first.read_text())
+    assert sorted(record["curves"]) == sorted(FAMILIES)
+    for by_skew in record["curves"].values():
+        # Skew visibly delays the job on every family.
+        assert float(by_skew["0.0"]) < float(by_skew["0.0002"])
+
+
+def test_bad_skews_rejected(capsys):
+    assert bench.main(["--skews", "abc"]) == 2
+    assert "comma-separated floats" in capsys.readouterr().err

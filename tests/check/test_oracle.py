@@ -77,13 +77,16 @@ class TestCostDifferential:
             )
         assert len(sanitizer.by_kind(R.COST_DIVERGENCE)) == 2
 
-    def test_every_predictable_algorithm_within_default_band(self):
-        for algorithm in predictable:
-            outcome = check_allreduce(
-                cluster_b(2), algorithm, nranks=8, ppn=4, count=256
-            )
-            assert outcome.ok, (algorithm, [str(r) for r in outcome.reports])
-            assert outcome.ratio is not None, algorithm
+    @pytest.mark.parametrize("algorithm", predictable)
+    def test_every_predictable_algorithm_within_default_band(self, algorithm):
+        # `predictable` is audited against the registry by
+        # tests/check/test_registry_conformance.py, so this
+        # parametrization tracks registry growth automatically.
+        outcome = check_allreduce(
+            cluster_b(2), algorithm, nranks=8, ppn=4, count=256
+        )
+        assert outcome.ok, (algorithm, [str(r) for r in outcome.reports])
+        assert outcome.ratio is not None, algorithm
 
 
 class TestPredictAllreduce:

@@ -1,0 +1,127 @@
+"""Meta-tests: the validation strategy is closed over the registry.
+
+:func:`repro.check.conformance.audit_registry` re-derives, from the
+live allreduce registry, that every algorithm has oracle coverage, a
+calibrated cost band (or a reasoned exemption), golden-determinism
+coverage, and a consistent phase plan.  These tests assert the audit
+is clean on the shipped registry — and, just as importantly, that it
+*does* fail when someone registers an algorithm without wiring its
+coverage, or lets an exemption ledger rot.
+"""
+
+import pytest
+
+from repro.check.conformance import (
+    COST_MODEL_EXEMPT,
+    GOLDEN_EXEMPT,
+    audit_registry,
+)
+from repro.check.oracle import predictable
+from repro.core.phases import PhasePlan
+from repro.mpi.collectives.registry import (
+    _PHASE_PLANS,
+    _REGISTRIES,
+    available_algorithms,
+    register_allreduce,
+    register_phase_plan,
+)
+
+
+@pytest.fixture
+def stub_allreduce():
+    """Register a bare stub allreduce (no oracle wiring) temporarily."""
+
+    def stub(comm, payload, op, tag_base=0, **kwargs):
+        out = yield from comm.allreduce(
+            payload, op, algorithm="recursive_doubling"
+        )
+        return out
+
+    register_allreduce("_stub", stub)
+    yield "_stub"
+    del _REGISTRIES["allreduce"]["_stub"]
+
+
+class TestAuditClean:
+    def test_shipped_registry_passes(self):
+        assert audit_registry() == []
+
+    def test_ledgers_partition_the_registry(self):
+        """predictable + COST_MODEL_EXEMPT is exactly the registry."""
+        registered = set(available_algorithms())
+        priced = set(predictable) & registered
+        exempt = set(COST_MODEL_EXEMPT)
+        assert priced | exempt == registered
+        assert priced & exempt == set()
+
+    def test_literature_families_are_priced_not_exempt(self):
+        for name in ("dualroot_pipelined", "optimal_rsag", "generalized"):
+            assert name in predictable
+            assert name not in COST_MODEL_EXEMPT
+
+    def test_golden_grid_covers_everything(self):
+        """No algorithm is silently excused from golden determinism."""
+        from tests.mpi.test_golden_determinism import GOLDEN_ALGORITHMS
+
+        assert set(GOLDEN_ALGORITHMS) | set(GOLDEN_EXEMPT) == set(
+            available_algorithms()
+        )
+
+
+class TestAuditCatchesViolations:
+    def test_stub_registration_fails_the_audit(self, stub_allreduce):
+        violations = audit_registry()
+        assert any(stub_allreduce in v for v in violations)
+        assert any("calibrated cost band" in v for v in violations)
+
+    def test_stub_with_reasoned_exemption_passes(
+        self, stub_allreduce, monkeypatch
+    ):
+        monkeypatch.setitem(
+            COST_MODEL_EXEMPT, stub_allreduce, "test stub, oracle-only"
+        )
+        assert audit_registry() == []
+
+    def test_stale_exemption_entry_is_flagged(self, monkeypatch):
+        monkeypatch.setitem(COST_MODEL_EXEMPT, "_never_registered", "gone")
+        violations = audit_registry()
+        assert any("stale ledger entry" in v for v in violations)
+
+    def test_empty_exemption_reason_is_flagged(self, monkeypatch):
+        monkeypatch.setitem(COST_MODEL_EXEMPT, "ring", "   ")
+        violations = audit_registry()
+        assert any("no reason string" in v for v in violations)
+
+    def test_missing_phase_plan_for_priced_algorithm_is_flagged(
+        self, monkeypatch
+    ):
+        monkeypatch.delitem(_PHASE_PLANS, "generalized")
+        violations = audit_registry()
+        assert any(
+            "generalized" in v and "no phase plan" in v for v in violations
+        )
+
+    def test_plan_name_mismatch_is_flagged(self, stub_allreduce, monkeypatch):
+        monkeypatch.setitem(
+            COST_MODEL_EXEMPT, stub_allreduce, "test stub, oracle-only"
+        )
+        plan = _PHASE_PLANS["dpml"]
+        monkeypatch.setitem(_PHASE_PLANS, stub_allreduce, plan)
+        violations = audit_registry()
+        assert any("names must match" in v for v in violations)
+
+    def test_planned_but_unpriced_algorithm_is_flagged(
+        self, stub_allreduce, monkeypatch
+    ):
+        monkeypatch.setitem(
+            COST_MODEL_EXEMPT, stub_allreduce, "test stub, oracle-only"
+        )
+        register_phase_plan(
+            stub_allreduce,
+            PhasePlan(stub_allreduce, ("exchange",), lambda model, **kw: ()),
+        )
+        try:
+            violations = audit_registry()
+        finally:
+            del _PHASE_PLANS[stub_allreduce]
+        assert any("unauditable" in v for v in violations)

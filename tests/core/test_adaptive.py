@@ -149,6 +149,56 @@ class TestAdaptiveUnderFaults:
         costs = {v[1] for v in job.values}
         assert len(costs) == 1  # MAX-allreduce agreement held
 
+    def test_roster_includes_literature_families(self):
+        """The explorer actually tries the competing designs."""
+        names = {name for name, _ in DEFAULT_CANDIDATES}
+        assert {"dualroot_pipelined", "optimal_rsag", "generalized"} <= names
+
+    @pytest.mark.parametrize(
+        "pattern", ["sorted", "reverse", "random", "exponential", "single"]
+    )
+    def test_literature_candidates_agree_under_skew(self, pattern):
+        """Restricted to the three literature families, every rank
+        explores all of them under arrival skew, records identical
+        agreed costs, and locks the same winner."""
+        from repro.faults import ArrivalSkew, FaultPlan
+
+        families = (
+            ("dualroot_pipelined", {}),
+            ("optimal_rsag", {}),
+            ("generalized", {}),
+        )
+
+        def fn(comm):
+            payload = SymbolicPayload(16384, 4)
+            for _ in range(len(families) + 1):
+                yield from comm.allreduce(
+                    payload, SUM, algorithm="adaptive", candidates=families
+                )
+            key = next(k for k in comm.cache if k[0] == "adaptive")
+            state = comm.cache[key]
+            return (state.locked, tuple(state.agreed_costs))
+
+        plan = FaultPlan(
+            faults=(ArrivalSkew(magnitude=2e-4, pattern=pattern),)
+        )
+        job = run_job(cluster_b(4), 16, fn, ppn=4, faults=plan, fault_seed=2)
+        locked = {v[0] for v in job.values}
+        costs = {v[1] for v in job.values}
+        assert len(locked) == 1 and None not in locked
+        assert len(costs) == 1  # MAX-allreduce agreement held
+        assert len(next(iter(costs))) == len(families)  # all explored
+
+    def test_full_roster_explores_every_candidate_under_skew(self):
+        """With the default 8-candidate roster the exploration phase
+        still converges to one agreed winner under skew."""
+        job = self._skewed_job("random", seed=5)
+        locked = {v[0] for v in job.values}
+        costs = next(iter({v[1] for v in job.values}))
+        assert len(locked) == 1
+        assert len(costs) == len(DEFAULT_CANDIDATES)
+        assert all(c > 0.0 for c in costs)
+
     def test_results_stay_correct_under_skew(self):
         from repro.faults import ArrivalSkew, FaultPlan
 

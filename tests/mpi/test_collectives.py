@@ -17,20 +17,15 @@ from repro.mpi import run_job
 from repro.mpi.collectives.registry import available_algorithms
 from repro.payload import MAX, MIN, PROD, SUM, make_payload
 
-FLAT_ALGORITHMS = [
-    "recursive_doubling",
-    "rabenseifner",
-    "ring",
-    "reduce_bcast",
+# Derived from the registry at collection time, so a newly registered
+# algorithm joins the correctness matrix automatically instead of
+# waiting for someone to extend a hand-maintained list.  SHArP designs
+# need the Cluster-A switch fabric and get their own class below.
+SHARP_ALGORITHMS = [
+    a for a in available_algorithms() if a.startswith("sharp")
 ]
-HIERARCHICAL_ALGORITHMS = [
-    "hierarchical",
-    "dpml",
-    "dpml_pipelined",
-    "mvapich2",
-    "intel_mpi",
-    "dpml_tuned",
-    "flat_auto",
+GENERAL_ALGORITHMS = [
+    a for a in available_algorithms() if not a.startswith("sharp")
 ]
 
 
@@ -52,7 +47,7 @@ def allreduce_job(config, nranks, ppn, algorithm, count, op=SUM, seed=0, **kw):
     return job
 
 
-@pytest.mark.parametrize("algorithm", FLAT_ALGORITHMS + HIERARCHICAL_ALGORITHMS)
+@pytest.mark.parametrize("algorithm", GENERAL_ALGORITHMS)
 class TestAllAlgorithmsBasic:
     def test_pow2_layout(self, algorithm):
         allreduce_job(cluster_b(4), 16, 4, algorithm, count=32)
@@ -136,9 +131,7 @@ class TestDpmlShapes:
 
 
 class TestSharpCorrectness:
-    @pytest.mark.parametrize(
-        "algorithm", ["sharp_node_leader", "sharp_socket_leader"]
-    )
+    @pytest.mark.parametrize("algorithm", SHARP_ALGORITHMS)
     @pytest.mark.parametrize("nranks,ppn", [(8, 2), (12, 3), (4, 1), (28, 7)])
     def test_sharp_layouts(self, algorithm, nranks, ppn):
         allreduce_job(cluster_a(4), nranks, ppn, algorithm, count=12)
@@ -162,19 +155,38 @@ class TestSharpCorrectness:
 class TestRegistry:
     def test_available_algorithms_complete(self):
         names = available_algorithms()
-        for expected in FLAT_ALGORITHMS + HIERARCHICAL_ALGORITHMS + [
+        for expected in [
+            "recursive_doubling",
+            "rabenseifner",
+            "ring",
+            "reduce_bcast",
+            "hierarchical",
+            "dpml",
+            "dpml_pipelined",
+            "dpml_tuned",
+            "mvapich2",
+            "intel_mpi",
+            "flat_auto",
+            "dualroot_pipelined",
+            "optimal_rsag",
+            "generalized",
+            "adaptive",
             "sharp_node_leader",
             "sharp_socket_leader",
         ]:
             assert expected in names
 
+    def test_matrix_is_registry_complete(self):
+        """The two collection-time lists partition the full registry."""
+        assert sorted(GENERAL_ALGORITHMS + SHARP_ALGORITHMS) == (
+            available_algorithms()
+        )
+
 
 @given(
     nranks=st.integers(2, 12),
     count=st.integers(1, 40),
-    algorithm=st.sampled_from(
-        ["recursive_doubling", "rabenseifner", "ring", "dpml", "dpml_pipelined"]
-    ),
+    algorithm=st.sampled_from(GENERAL_ALGORITHMS),
     seed=st.integers(0, 2**16),
 )
 @settings(max_examples=60, deadline=None)

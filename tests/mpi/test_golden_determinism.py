@@ -28,7 +28,8 @@ import numpy as np
 import pytest
 
 from tests.conftest import ALL_LAYOUTS, layout_id
-from repro.faults.plan import FaultPlan, Straggler
+from repro.check.conformance import GOLDEN_EXEMPT
+from repro.faults.plan import ArrivalSkew, FaultPlan, Straggler
 from repro.machine.clusters import cluster_a, cluster_b
 from repro.mpi import run_job
 from repro.mpi.collectives.registry import available_algorithms
@@ -36,6 +37,17 @@ from repro.payload import SUM, make_payload, set_payload_compat
 from repro.sim import Simulator
 
 COUNT = 96
+
+#: The golden grid, derived from the registry at collection time; an
+#: algorithm may only opt out through the audited GOLDEN_EXEMPT ledger
+#: (tests/check/test_registry_conformance.py closes the loop).
+GOLDEN_ALGORITHMS = [
+    a for a in available_algorithms() if a not in GOLDEN_EXEMPT
+]
+
+#: The competing designs added alongside DPML; called out by name so a
+#: regression in one of them fails a test naming it.
+LITERATURE_FAMILIES = ("dualroot_pipelined", "optimal_rsag", "generalized")
 
 
 @pytest.fixture(autouse=True)
@@ -104,7 +116,8 @@ def test_fast_mode_matches_seed_under_sanitizer(layout):
 
 @pytest.mark.parametrize(
     "algorithm",
-    ["dpml", "dpml_pipelined", "dpml_tuned", "mvapich2", "hierarchical", "ring"],
+    ["dpml", "dpml_pipelined", "dpml_tuned", "mvapich2", "hierarchical", "ring"]
+    + list(LITERATURE_FAMILIES),
 )
 def test_fast_mode_matches_seed_across_algorithms(algorithm):
     layout = (16, 4, 4)
@@ -139,7 +152,7 @@ def test_mixed_modes_agree(kernel_compat, payload_compat):
     assert job.elapsed == golden.elapsed
 
 
-@pytest.mark.parametrize("algorithm", available_algorithms())
+@pytest.mark.parametrize("algorithm", GOLDEN_ALGORITHMS)
 def test_hybrid_matches_exact_values_across_algorithms(algorithm):
     """Every registered allreduce: hybrid and exact fidelity produce
     bit-identical result buffers.  Plan-backed algorithms take the
@@ -189,6 +202,106 @@ def test_hybrid_falls_back_to_exact_under_faults():
     assert not exact.reports
     assert not hybrid.reports
     assert hybrid.counters["macro_events"] == 0
+
+
+class TestLiteratureFamilyGoldens:
+    """The competing literature designs ride every determinism contract
+    the DPML family does: compat x fidelity bit-identity, session
+    reuse, and seeded fault replays."""
+
+    LAYOUT = (16, 4, 4)
+
+    @pytest.mark.parametrize("algorithm", LITERATURE_FAMILIES)
+    @pytest.mark.parametrize("fidelity", ["exact", "hybrid"])
+    def test_compat_matches_fast_in_both_fidelities(self, algorithm, fidelity):
+        """Full compat x fidelity matrix: the seed's heap-only,
+        copy-always kernel and the fast kernel agree on values in both
+        fidelities (elapsed compared only within one fidelity — hybrid
+        intentionally re-times)."""
+        golden = _run(self.LAYOUT, algorithm, compat=True, fidelity=fidelity)
+        fast = _run(self.LAYOUT, algorithm, compat=False, fidelity=fidelity)
+        _assert_identical(golden, fast)
+
+    @pytest.mark.parametrize("algorithm", LITERATURE_FAMILIES)
+    def test_hybrid_macro_charges_on_homogeneous_layout(self, algorithm):
+        """The new plans actually engage: one macro event per call on
+        the homogeneous golden layout, zero on a ragged one."""
+        hybrid = _run(self.LAYOUT, algorithm, compat=False, fidelity="hybrid")
+        assert hybrid.counters["macro_events"] == 1
+        ragged = _run((10, 4, 3), algorithm, compat=False, fidelity="hybrid")
+        assert ragged.counters["macro_events"] == 0
+
+    @pytest.mark.parametrize("algorithm", LITERATURE_FAMILIES)
+    def test_reused_session_replays_bit_identically(self, algorithm):
+        """Back-to-back runs on one reused SimSession are bit-identical
+        to each other and to a fresh-machine run."""
+        from repro.mpi.runtime import SimSession
+
+        nranks, ppn, nodes = self.LAYOUT
+        rng = np.random.default_rng(11)
+        inputs = [
+            rng.integers(1, 10, COUNT).astype(np.float64)
+            for _ in range(nranks)
+        ]
+        session = SimSession(cluster_b(nodes), nranks, ppn, sanitize=True)
+        fn = _allreduce_fn(inputs, algorithm)
+        first = session.run(fn)
+        second = session.run(fn)
+        _assert_identical(first, second)
+        fresh = run_job(cluster_b(nodes), nranks, fn, ppn=ppn, sanitize=True)
+        _assert_identical(first, fresh)
+        assert not first.reports and not second.reports
+
+    @pytest.mark.parametrize("algorithm", LITERATURE_FAMILIES)
+    def test_fault_replay_is_seed_deterministic(self, algorithm):
+        """The same (plan, seed) pair replays bit-identically — values
+        and elapsed — run to run, sanitizer attached."""
+        plan = FaultPlan(
+            faults=(
+                ArrivalSkew(magnitude=2e-4, pattern="random"),
+                Straggler(rank=5, factor=4.0),
+            )
+        )
+        nranks, ppn, nodes = self.LAYOUT
+        rng = np.random.default_rng(13)
+        inputs = [
+            rng.integers(1, 10, COUNT).astype(np.float64)
+            for _ in range(nranks)
+        ]
+        runs = [
+            run_job(
+                cluster_b(nodes), nranks, _allreduce_fn(inputs, algorithm),
+                ppn=ppn, sanitize=True, faults=plan, fault_seed=21,
+            )
+            for _ in range(2)
+        ]
+        _assert_identical(runs[0], runs[1])
+        assert not runs[0].reports
+        # ... and the skew actually ran: a fault-free job is faster.
+        clean = run_job(
+            cluster_b(nodes), nranks, _allreduce_fn(inputs, algorithm),
+            ppn=ppn, sanitize=True,
+        )
+        assert clean.elapsed < runs[0].elapsed
+
+
+class TestHybridPlanFallbackCounter:
+    """Hybrid-mode dispatch of a planless algorithm must be *counted*,
+    never silent (the negative-space check of the phase-plan audit)."""
+
+    def test_planless_algorithm_increments_counter(self):
+        job = _run((16, 4, 4), "ring", compat=False, fidelity="hybrid")
+        assert job.counters["macro_events"] == 0
+        assert job.counters["hybrid_plan_fallbacks"] == {"ring": 16}
+
+    def test_planned_algorithm_does_not(self):
+        job = _run((16, 4, 4), "dpml", compat=False, fidelity="hybrid")
+        assert job.counters["macro_events"] == 1
+        assert job.counters["hybrid_plan_fallbacks"] == {}
+
+    def test_exact_mode_keeps_historical_counter_shape(self):
+        job = _run((16, 4, 4), "ring", compat=False, fidelity="exact")
+        assert "hybrid_plan_fallbacks" not in job.counters
 
 
 def test_counters_reflect_modes():
