@@ -13,7 +13,18 @@ Commands
     serial with ``--jobs 1`` (default), process-parallel otherwise —
     and print its table / write its JSON record.  ``--canonical``
     strips the volatile metadata (executor, wall time) so two runs of
-    the same spec diff clean.
+    the same spec diff clean.  ``--store DIR`` (or the
+    ``REPRO_RESULT_STORE`` environment variable) reads the sweep through
+    the content-addressed result store so only missing points simulate;
+    ``--no-store`` disables it.
+``cache <stats|verify|gc> [--store DIR]``
+    Inspect or maintain a result store: entry/byte totals and hit
+    counters, full integrity re-hash, or eviction by ``--older-than``
+    age and/or ``--max-bytes`` budget.  Output is canonical JSON.
+``serve --demo [--requests N] [--workers N]``
+    Drive the async sweep service: N concurrent mixed sweep requests
+    multiplexed over a bounded worker pool with in-flight dedup, each
+    verified byte-identical against a serial reference.
 ``autotune --cluster c [--ppn 28]``
     Regenerate the DPML tuning table for one cluster preset.
 ``perf [scenario] [--gate] [--baseline BENCH_PERF.json] [--output out.json]``
@@ -83,6 +94,7 @@ def _run_sweep(args) -> int:
     """The ``run`` command: named sweep -> executor -> table/JSON."""
     from repro.bench.executor import get_executor
     from repro.bench.spec import SWEEPS, named_sweep
+    from repro.bench.store import resolve_store
 
     if not args.target:
         print("run needs a sweep name; available sweeps:", file=sys.stderr)
@@ -127,10 +139,12 @@ def _run_sweep(args) -> int:
     except ReproError as e:
         print(str(e), file=sys.stderr)
         return 2
+    store = resolve_store(args.store, args.no_store)
     print(
         f"running sweep {spec.name!r} ({spec.n_points} points, "
         f"spec {spec.spec_hash()}) with {executor.kind} executor"
-        + (f" x{executor.jobs}" if executor.kind == "parallel" else ""),
+        + (f" x{executor.jobs}" if executor.kind == "parallel" else "")
+        + (f", store {store.root}" if store is not None else ""),
         file=sys.stderr,
     )
 
@@ -141,13 +155,22 @@ def _run_sweep(args) -> int:
             file=sys.stderr,
         )
 
-    result = executor.run(spec, progress=progress if args.progress else None)
+    result = executor.run(
+        spec, progress=progress if args.progress else None, store=store
+    )
     print(result.table())
     wall = result.meta["wall_seconds"]
     errors = result.meta["n_errors"]
+    store_meta = result.meta.get("store")
     print(
         f"[{spec.name}: {result.meta['n_points']} points in {wall:.1f}s wall"
         + (f", {errors} errors" if errors else "")
+        + (
+            f", store hits {store_meta['hits']}/"
+            f"{result.meta['n_points']} stored {store_meta['stored']}"
+            if store_meta is not None
+            else ""
+        )
         + "]",
         file=sys.stderr,
     )
@@ -157,6 +180,67 @@ def _run_sweep(args) -> int:
             fh.write("\n")
         print(f"wrote {args.output}", file=sys.stderr)
     return 0 if result.ok else 1
+
+
+_DURATION_UNITS = {"s": 1.0, "m": 60.0, "h": 3600.0, "d": 86400.0}
+
+
+def parse_duration(text: str) -> float:
+    """``"90"``/``"90s"``/``"15m"``/``"2h"``/``"7d"`` -> seconds."""
+    raw = text.strip().lower()
+    unit = 1.0
+    if raw and raw[-1] in _DURATION_UNITS:
+        unit = _DURATION_UNITS[raw[-1]]
+        raw = raw[:-1]
+    try:
+        seconds = float(raw) * unit
+    except ValueError:
+        raise ReproError(
+            f"--older-than wants a duration like 90s/15m/2h/7d, got {text!r}"
+        ) from None
+    if seconds < 0:
+        raise ReproError(f"--older-than must be non-negative, got {text!r}")
+    return seconds
+
+
+def _cache(args) -> int:
+    """The ``cache`` command: stats / verify / gc over a result store."""
+    import json as _json
+
+    from repro.bench.store import resolve_store
+
+    store = resolve_store(args.store, args.no_store)
+    if store is None:
+        print(
+            "cache needs a store: pass --store DIR or set REPRO_RESULT_STORE",
+            file=sys.stderr,
+        )
+        return 2
+    action = (args.target or "stats").lower()
+    if action == "stats":
+        report = store.stats()
+    elif action == "verify":
+        report = store.verify()
+    elif action == "gc":
+        try:
+            older_than = (
+                parse_duration(args.older_than) if args.older_than else None
+            )
+        except ReproError as e:
+            print(str(e), file=sys.stderr)
+            return 2
+        report = store.gc(older_than=older_than, max_bytes=args.max_bytes)
+    else:
+        print(
+            f"unknown cache action {args.target!r}; "
+            "try 'stats', 'verify', or 'gc'",
+            file=sys.stderr,
+        )
+        return 2
+    print(_json.dumps(report, sort_keys=True, separators=(",", ":")))
+    if action == "verify" and report["corrupt"]:
+        return 1
+    return 0
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -243,6 +327,37 @@ def main(argv: list[str] | None = None) -> int:
         help="run every simulation under the invariant sanitizer "
         "(sets REPRO_SANITIZE=1, inherited by parallel sweep workers)",
     )
+    parser.add_argument(
+        "--store", default=None, metavar="DIR",
+        help="content-addressed result store directory for 'run' / "
+        "'cache' / 'serve' (default: the REPRO_RESULT_STORE environment "
+        "variable; cached points are answered without simulating)",
+    )
+    parser.add_argument(
+        "--no-store", action="store_true", dest="no_store",
+        help="ignore --store and REPRO_RESULT_STORE; simulate every point",
+    )
+    parser.add_argument(
+        "--older-than", default=None, metavar="AGE", dest="older_than",
+        help="for 'cache gc': evict blobs older than AGE (90s/15m/2h/7d)",
+    )
+    parser.add_argument(
+        "--max-bytes", type=int, default=None, dest="max_bytes",
+        help="for 'cache gc': evict oldest-first until the store fits",
+    )
+    parser.add_argument(
+        "--demo", action="store_true",
+        help="for 'serve': run the concurrent mixed-sweep demo and verify "
+        "every request against a serial reference",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=6,
+        help="for 'serve --demo': number of concurrent sweep requests",
+    )
+    parser.add_argument(
+        "--workers", type=int, default=4,
+        help="for 'serve': worker threads in the session pool",
+    )
     args = parser.parse_args(argv)
     if args.sanitize:
         os.environ["REPRO_SANITIZE"] = "1"
@@ -262,6 +377,12 @@ def main(argv: list[str] | None = None) -> int:
         return _run_figures(list(FIGURES), plot=args.plot)
     if command == "run":
         return _run_sweep(args)
+    if command == "cache":
+        return _cache(args)
+    if command == "serve":
+        from repro.bench.service import main as serve_main
+
+        return serve_main(args)
     if command == "perf":
         from repro.bench.perf import main as perf_main
 

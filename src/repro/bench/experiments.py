@@ -219,12 +219,22 @@ _EXPERIMENTS: list[tuple[str, str, Callable[[], tuple[FigureResult, str]]]] = [
 
 def generate_experiments_report(out=None, selected=None) -> str:
     """Run every experiment and return (and optionally write) the report."""
+    from repro.bench.store import store_from_env
+
     buf = io.StringIO()
     scale = "paper" if paper_scale() else "reduced (REPRO_PAPER_SCALE=1 for full)"
+    store = store_from_env()
+    store_note = (
+        f"result store: `{store.root}` (sweeps read through the "
+        "content-addressed cache; only missing points simulate).\n"
+        if store is not None
+        else ""
+    )
     buf.write(
         "# EXPERIMENTS — paper vs. measured\n\n"
         f"Generated by `python -m repro.bench experiments` (repro {__version__}),\n"
-        f"scale: **{scale}**.  Absolute times are simulated microseconds on\n"
+        f"scale: **{scale}**.  {store_note}"
+        "Absolute times are simulated microseconds on\n"
         "the calibrated cluster models; the reproduction targets are the\n"
         "*shapes* — who wins, crossovers, and approximate factors (see\n"
         "DESIGN.md).  Every table below is regenerated by the benchmark in\n"

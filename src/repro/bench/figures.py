@@ -52,10 +52,17 @@ __all__ = [
 
 
 def _run_sweep(spec: SweepSpec) -> SweepResult:
-    """Execute a figure's spec (``REPRO_BENCH_JOBS`` selects the executor)."""
-    from repro.bench.executor import default_executor
+    """Execute a figure's spec (``REPRO_BENCH_JOBS`` selects the executor).
 
-    return default_executor().run(spec)
+    Reads through the result store when ``REPRO_RESULT_STORE`` names a
+    directory, so regenerating a figure twice — or regenerating after a
+    sweep/CI run already measured its points — only simulates what is
+    missing.
+    """
+    from repro.bench.executor import default_executor
+    from repro.bench.store import store_from_env
+
+    return default_executor().run(spec, store=store_from_env())
 
 
 @dataclass

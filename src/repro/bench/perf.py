@@ -37,10 +37,19 @@ been macro-charged (``macro_events`` floor) and the kernel must not
 have regressed to per-message eventing (``events_allocated`` ceiling
 per rank).
 
+The **store scenario** (``store_fig5``) runs a fig5-shaped sweep twice
+through a throwaway content-addressed :class:`~repro.bench.store
+.ResultStore`: the cold pass simulates and writes back, the warm pass
+must answer every point from the store — zero executions, 100% hit
+ratio, canonical payload byte-identical to the cold pass.  The warm
+wall-clock is recorded (for humans); the hit counters and the
+byte-identity bit are deterministic and gated.
+
 ``run_perf`` returns a plain dict; ``--output`` writes it as
 ``BENCH_PERF.json``.  ``--gate`` enforces the improvement floors on the
 fig5-shaped scenario (>= 3x fewer events allocated, >= 5x fewer payload
-bytes copied) plus the scale ceilings above.  ``--baseline <path>``
+bytes copied) plus the scale ceilings above and the warm-store
+requirements.  ``--baseline <path>``
 diffs the deterministic portion (latencies, counters, ratios) against a
 committed baseline and fails on any drift — wall-clock and throughput
 fields are stripped before comparing.  ``--canonical <path>`` writes
@@ -70,6 +79,7 @@ __all__ = [
     "ScalePoint",
     "SCENARIOS",
     "SCALE_SCENARIOS",
+    "STORE_SCENARIOS",
     "SCALE_MAX_WALL",
     "SCALE_MIN_MACRO_PER_POINT",
     "SCALE_MAX_EVENTS_PER_RANK",
@@ -177,6 +187,67 @@ SCALE_SCENARIOS: dict[str, tuple[ScalePoint, ...]] = {
     "scale100k": (ScalePoint("b", nodes=12500, ppn=8,
                              algorithm="dpml_pipelined", nbytes=65536),),
 }
+
+def _store_spec():
+    """The fig5-shaped sweep the ``store_fig5`` scenario runs twice."""
+    from repro.bench.spec import SweepSpec
+
+    return SweepSpec(
+        name="perf-store-fig5",
+        cluster="b",
+        nodes=4,
+        ppn=8,
+        sizes=(4096, 65536),
+        algorithms=("dpml",),
+        leader_counts=(1, 2, 4, 8),
+        iterations=2,
+    )
+
+
+#: Result-store scenarios: name -> spec factory.  Each runs its sweep
+#: cold then warm through a throwaway store; the warm pass is gated to
+#: execute zero points.
+STORE_SCENARIOS = {"store_fig5": _store_spec}
+
+
+def _run_store_scenario(spec) -> dict:
+    """Cold + warm store-backed runs of ``spec``; deterministic counters
+    plus the (volatile, human-facing) wall clocks of both passes."""
+    import tempfile
+
+    from repro.bench.executor import SerialExecutor
+    from repro.bench.store import ResultStore
+
+    executor = SerialExecutor()
+    with tempfile.TemporaryDirectory(prefix="repro-perf-store-") as tmp:
+        store = ResultStore(tmp)
+        cold = executor.run(spec, store=store)
+        warm = executor.run(spec, store=store)
+    n = cold.meta["n_points"]
+    cold_store = cold.meta["store"]
+    warm_store = warm.meta["store"]
+    return {
+        "spec_hash": spec.spec_hash(),
+        "n_points": n,
+        "cold": {
+            "wall_seconds": round(cold.meta["wall_seconds"], 6),
+            "hits": cold_store["hits"],
+            "misses": cold_store["misses"],
+            "stored": cold_store["stored"],
+        },
+        "warm": {
+            "wall_seconds": round(warm.meta["wall_seconds"], 6),
+            "hits": warm_store["hits"],
+            "misses": warm_store["misses"],
+            "stored": warm_store["stored"],
+        },
+        "warm_executed": warm_store["misses"],
+        "warm_hit_ratio": round(warm_store["hits"] / n, 4) if n else None,
+        "byte_identical": (
+            cold.to_json(include_meta=False) == warm.to_json(include_meta=False)
+        ),
+    }
+
 
 #: Wall-clock ceilings (seconds) per scale scenario.  Measured ~0.6s /
 #: ~6s / ~10s on a dev box; ceilings carry ~10x headroom for noisy CI
@@ -290,9 +361,15 @@ def run_perf(scenarios: Optional[list[str]] = None, progress=None) -> dict:
     if scenarios:
         names = list(scenarios)
     else:
-        names = list(SCENARIOS) + list(SCALE_SCENARIOS)
+        names = list(SCENARIOS) + list(SCALE_SCENARIOS) + list(STORE_SCENARIOS)
     out: dict = {"schema": 1, "suite": "repro.bench.perf", "scenarios": {}}
     for name in names:
+        if name in STORE_SCENARIOS:
+            record = _run_store_scenario(STORE_SCENARIOS[name]())
+            out["scenarios"][name] = {"mode": "result-store", **record}
+            if progress is not None:
+                progress(name, None, record, None)
+            continue
         if name in SCALE_SCENARIOS:
             records = []
             for point in SCALE_SCENARIOS[name]:
@@ -366,8 +443,11 @@ def gate_failures(report: dict) -> list[str]:
     present_scale = [
         name for name in SCALE_SCENARIOS if name in report["scenarios"]
     ]
+    present_store = [
+        name for name in STORE_SCENARIOS if name in report["scenarios"]
+    ]
     scenario = report["scenarios"].get(GATE_SCENARIO)
-    if scenario is None and not present_scale:
+    if scenario is None and not present_scale and not present_store:
         return [f"gate scenario {GATE_SCENARIO!r} missing from report"]
     if scenario is not None:
         ratios = scenario["ratios"]
@@ -406,6 +486,21 @@ def gate_failures(report: dict) -> list[str]:
                     f"{SCALE_MAX_EVENTS_PER_RANK}/rank ceiling ({cap:.0f}) "
                     f"— kernel regressed toward per-message eventing"
                 )
+    for name in present_store:
+        record = report["scenarios"][name]
+        if record["warm_executed"] != 0:
+            failures.append(
+                f"{name}: warm rerun executed {record['warm_executed']} "
+                f"point(s) — the store must answer a fully-warm sweep"
+            )
+        if record["warm_hit_ratio"] != 1.0:
+            failures.append(
+                f"{name}: warm hit ratio {record['warm_hit_ratio']} != 1.0"
+            )
+        if record["byte_identical"] is not True:
+            failures.append(
+                f"{name}: warm canonical payload diverged from the cold run"
+            )
     return failures
 
 
@@ -471,7 +566,7 @@ def main(args) -> int:
     import sys
 
     scenarios = [args.target] if args.target else None
-    known = {**SCENARIOS, **SCALE_SCENARIOS}
+    known = {**SCENARIOS, **SCALE_SCENARIOS, **STORE_SCENARIOS}
     if scenarios and scenarios[0] not in known:
         print(
             f"unknown perf scenario {scenarios[0]!r}; "
@@ -481,6 +576,15 @@ def main(args) -> int:
         return 2
 
     def progress(name, point, first, second):
+        if point is None:
+            print(
+                f"  [{name}] {first['n_points']} points: "
+                f"cold {first['cold']['wall_seconds']:.3f}s, "
+                f"warm {first['warm']['wall_seconds']:.3f}s, "
+                f"warm hits {first['warm']['hits']}/{first['n_points']}",
+                file=sys.stderr,
+            )
+            return
         if second is None:
             print(
                 f"  [{name}] {point.label()}: "
@@ -506,6 +610,15 @@ def main(args) -> int:
     report = run_perf(scenarios, progress=progress if args.progress else None)
 
     for name, scenario in report["scenarios"].items():
+        if scenario.get("mode") == "result-store":
+            print(
+                f"{name}: {scenario['n_points']} points, "
+                f"cold {scenario['cold']['wall_seconds']:.2f}s -> "
+                f"warm {scenario['warm']['wall_seconds']:.2f}s, "
+                f"warm hit ratio {scenario['warm_hit_ratio']}, "
+                f"byte-identical {scenario['byte_identical']}"
+            )
+            continue
         if scenario.get("mode") == "hybrid-scale":
             for r in scenario["points"]:
                 print(
@@ -536,7 +649,11 @@ def main(args) -> int:
         else:
             gated = [
                 name
-                for name in ([GATE_SCENARIO] + list(SCALE_SCENARIOS))
+                for name in (
+                    [GATE_SCENARIO]
+                    + list(SCALE_SCENARIOS)
+                    + list(STORE_SCENARIOS)
+                )
                 if name in report["scenarios"]
             ]
             print(f"gate ok: {', '.join(gated)}")

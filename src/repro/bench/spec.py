@@ -452,12 +452,25 @@ class SweepSpec:
             fidelity=data.get("fidelity", "exact"),
         )
 
-    def spec_hash(self) -> str:
-        """Stable content hash: two equal specs measure the same thing."""
+    def full_hash(self) -> str:
+        """Untruncated sha256 of the canonical spec serialisation.
+
+        This is the collision-safe identity used for result-store keys
+        (:mod:`repro.bench.store`); :meth:`spec_hash` is its 16-char
+        display prefix, kept short for filenames and EXPERIMENTS.md.
+        """
         canonical = json.dumps(
             self.to_dict(), sort_keys=True, separators=(",", ":")
         )
-        return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+        return hashlib.sha256(canonical.encode()).hexdigest()
+
+    def spec_hash(self) -> str:
+        """Stable content hash: two equal specs measure the same thing.
+
+        A display-friendly prefix of :meth:`full_hash` — anything that
+        must never alias (store keys) uses the full form.
+        """
+        return self.full_hash()[:16]
 
 
 # -- results -----------------------------------------------------------------

@@ -9,6 +9,7 @@ talks back to the registry for its inter-node stages).
 
 from __future__ import annotations
 
+import threading
 from typing import Callable, Generator, Optional
 
 from repro.errors import TuningError
@@ -28,7 +29,12 @@ CollectiveFn = Callable[..., Generator]
 
 _REGISTRIES: dict[str, dict[str, CollectiveFn]] = {}
 _PHASE_PLANS: dict = {}
+#: set the moment population *starts* (same-thread reentrancy guard —
+#: the repro.core imports below may resolve back through the registry)
 _POPULATED = False
+#: set only once population has *finished* (lock-free fast path)
+_READY = False
+_POPULATE_LOCK = threading.RLock()
 
 #: Default algorithm per collective kind — the "state of the art"
 #: library behaviour the paper compares against.
@@ -55,11 +61,29 @@ def register_allreduce(name: str, fn: CollectiveFn) -> None:
 
 
 def _populate() -> None:
-    global _POPULATED
-    if _POPULATED:
-        return
-    _POPULATED = True
+    """Fill the registries exactly once, safely from any thread.
 
+    Concurrent first callers (e.g. the sweep service's worker threads)
+    serialise on the lock and wait for the full table; a *reentrant*
+    same-thread call during the population imports returns immediately
+    via ``_POPULATED``, exactly as the lock-free version did.
+    """
+    global _POPULATED, _READY
+    if _READY:
+        return
+    with _POPULATE_LOCK:
+        if _POPULATED:
+            return
+        _POPULATED = True
+        try:
+            _register_builtin()
+        except BaseException:
+            _POPULATED = False
+            raise
+        _READY = True
+
+
+def _register_builtin() -> None:
     from repro.core.adaptive import allreduce_adaptive
     from repro.core.dpml import allreduce_dpml, allreduce_hierarchical
     from repro.core.multilevel import allreduce_dpml_multilevel

@@ -1,0 +1,147 @@
+"""Sweep service: concurrency, dedup, store integration, the demo."""
+
+import asyncio
+
+import pytest
+
+from repro.bench.executor import SerialExecutor
+from repro.bench.service import SweepService, demo_specs, run_demo
+from repro.bench.spec import SweepSpec
+from repro.bench.store import ResultStore
+from repro.errors import ReproError
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        name="tiny",
+        cluster="b",
+        nodes=2,
+        ppn=2,
+        sizes=(1024, 16384),
+        algorithms=("dpml",),
+        leader_counts=(1, 2),
+        iterations=1,
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+class TestService:
+    def test_single_sweep_matches_serial(self):
+        spec = tiny_spec()
+
+        async def go():
+            async with SweepService(workers=2) as service:
+                return await service.run_sweep(spec)
+
+        result = run(go())
+        reference = SerialExecutor().run(spec)
+        assert result.to_json(include_meta=False) == reference.to_json(
+            include_meta=False
+        )
+        assert result.meta["executor"] == "service"
+        assert result.meta["service"]["executed"] == spec.n_points
+
+    def test_concurrent_duplicates_dedup(self):
+        spec = tiny_spec()
+
+        async def go():
+            async with SweepService(workers=2) as service:
+                results = await asyncio.gather(
+                    *(service.run_sweep(spec) for _ in range(3))
+                )
+                return results, dict(service.counters)
+
+        results, counters = run(go())
+        payloads = {r.to_json(include_meta=False) for r in results}
+        assert len(payloads) == 1  # all three byte-identical
+        # 3 requests x n points, but only n simulations admitted
+        assert counters["executed"] == spec.n_points
+        assert counters["deduped"] == 2 * spec.n_points
+
+    def test_store_warms_across_requests(self, tmp_path):
+        spec = tiny_spec()
+        store = ResultStore(tmp_path)
+
+        async def go():
+            async with SweepService(store=store, workers=2) as service:
+                first = await service.run_sweep(spec)
+                second = await service.run_sweep(spec)
+                return first, second
+
+        first, second = run(go())
+        assert first.meta["service"] == {
+            "hits": 0, "executed": spec.n_points, "deduped": 0,
+        }
+        assert second.meta["service"] == {
+            "hits": spec.n_points, "executed": 0, "deduped": 0,
+        }
+        assert first.to_json(include_meta=False) == second.to_json(
+            include_meta=False
+        )
+
+    def test_errors_surface_and_are_not_cached(self, tmp_path):
+        spec = tiny_spec(algorithms=("no_such_algorithm",))
+        store = ResultStore(tmp_path)
+
+        async def go():
+            async with SweepService(store=store, workers=2) as service:
+                first = await service.run_sweep(spec)
+                second = await service.run_sweep(spec)
+                return first, second
+
+        first, second = run(go())
+        assert not first.ok
+        assert second.meta["service"]["hits"] == 0  # errors re-execute
+        assert first.to_json(include_meta=False) == second.to_json(
+            include_meta=False
+        )
+
+    def test_mixed_sweeps_all_match_serial(self):
+        specs = demo_specs(4)
+
+        async def go():
+            async with SweepService(workers=3, max_pending=4) as service:
+                return await asyncio.gather(
+                    *(service.run_sweep(s) for s in specs)
+                )
+
+        results = run(go())
+        serial = SerialExecutor()
+        for spec, result in zip(specs, results):
+            assert result.to_json(include_meta=False) == serial.run(
+                spec
+            ).to_json(include_meta=False)
+
+    def test_invalid_configuration_rejected(self):
+        with pytest.raises(ReproError, match="workers"):
+            SweepService(workers=0)
+        with pytest.raises(ReproError, match="max_pending"):
+            SweepService(max_pending=0)
+
+
+class TestDemo:
+    def test_demo_specs_cycle(self):
+        specs = demo_specs(6)
+        assert len(specs) == 6
+        assert specs[4] == specs[0] and specs[5] == specs[1]
+        assert len({s.full_hash() for s in specs[:4]}) == 4
+
+    def test_run_demo_verifies_against_serial(self, tmp_path):
+        report = run_demo(
+            requests=4, workers=2, store=ResultStore(tmp_path)
+        )
+        assert report["mismatched"] == 0
+        assert report["matched"] == 4
+        assert report["counters"]["points"] == sum(
+            d["n_points"] for d in report["detail"]
+        )
+        assert all(d["ok"] for d in report["detail"])
+
+    def test_run_demo_requires_concurrency(self):
+        with pytest.raises(ReproError, match=">= 4"):
+            run_demo(requests=2)

@@ -91,6 +91,17 @@ class TestHashing:
         assert rt == spec
         assert rt.spec_hash() == spec.spec_hash()
 
+    def test_short_hash_is_prefix_of_full_hash(self):
+        spec = small_spec()
+        full = spec.full_hash()
+        assert len(full) == 64
+        assert int(full, 16) >= 0  # hex digest
+        assert spec.spec_hash() == full[:16]
+
+    def test_full_hash_tracks_content(self):
+        assert small_spec().full_hash() == small_spec().full_hash()
+        assert small_spec().full_hash() != small_spec(ppn=4).full_hash()
+
 
 class TestClusterRefs:
     def test_string_ref_resolves_via_presets(self):
