@@ -229,7 +229,11 @@ def _cache(args) -> int:
         except ReproError as e:
             print(str(e), file=sys.stderr)
             return 2
-        report = store.gc(older_than=older_than, max_bytes=args.max_bytes)
+        report = store.gc(
+            older_than=older_than,
+            max_bytes=args.max_bytes,
+            dry_run=args.dry_run,
+        )
     else:
         print(
             f"unknown cache action {args.target!r}; "
@@ -344,6 +348,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument(
         "--max-bytes", type=int, default=None, dest="max_bytes",
         help="for 'cache gc': evict oldest-first until the store fits",
+    )
+    parser.add_argument(
+        "--dry-run", action="store_true", dest="dry_run",
+        help="for 'cache gc': report what would be evicted, unlink nothing",
     )
     parser.add_argument(
         "--demo", action="store_true",

@@ -47,6 +47,7 @@ __all__ = [
     "fig11bc_miniamr",
     "model_validation",
     "ablation_pipeline",
+    "traffic_tenancy",
     "FIGURES",
 ]
 
@@ -487,6 +488,85 @@ def ablation_pipeline(iterations: int = 1) -> FigureResult:
     )
 
 
+def traffic_tenancy(
+    tenant_counts: Sequence[int] = (1, 2, 4),
+    algorithms: Sequence[str] = ("dpml", "rabenseifner", "adaptive"),
+    nbytes: int = 262144,
+) -> FigureResult:
+    """E18: allreduce algorithms under rising multi-tenant load.
+
+    Not a paper figure: the paper benchmarks one job on an idle
+    cluster, but its motivating deployments are shared.  Each cell runs
+    ``T`` identical OSU-style tenants concurrently on one shared
+    8-node fabric with a deliberately thin single-spine fat tree
+    (``spread`` placement, so every tenant's leader traffic crosses the
+    contended spine links) via :mod:`repro.traffic`, and reports the
+    mean per-tenant p50 collective latency plus the scraper's peak link
+    utilisation.  The claim under test: DPML's partitioned leaders keep
+    both the absolute latency and the degradation slope below the
+    single-stream rabenseifner as tenancy rises, and ``adaptive``
+    tracks the better design.
+    """
+    import dataclasses as _dc
+
+    from repro.machine.fattree import FatTreeConfig
+    from repro.traffic.runner import run_traffic
+    from repro.traffic.workload import JobSpec, TrafficTrace
+
+    config = _dc.replace(
+        cluster_b(8),
+        topology=FatTreeConfig(
+            nodes_per_leaf=4, spines=1, link_byte_time=3.2e-10
+        ),
+    )
+    data: dict[int, dict[str, float]] = {}
+    utils: dict[int, float] = {}
+    for tenants in tenant_counts:
+        data[tenants] = {}
+        for alg in algorithms:
+            trace = TrafficTrace(
+                jobs=tuple(
+                    JobSpec(
+                        app="osu", arrival=0.0, nodes=2, ppn=2,
+                        nbytes=nbytes, iterations=2, algorithm=alg,
+                    )
+                    for _ in range(tenants)
+                )
+            )
+            result = run_traffic(trace, config=config, placement="spread")
+            p50s = [job.latency_summary()["p50"] for job in result.jobs]
+            data[tenants][alg] = sum(p50s) / len(p50s)
+            utils[tenants] = max(
+                utils.get(tenants, 0.0),
+                max(
+                    (s["links"]["util_max"] for s in result.series if s["links"]),
+                    default=0.0,
+                ),
+            )
+    rows = []
+    for tenants in tenant_counts:
+        best = min(data[tenants], key=data[tenants].get)
+        rows.append(
+            {
+                "tenants": str(tenants),
+                **{alg: format_us(data[tenants][alg]) for alg in algorithms},
+                "best": best,
+                "peak-util": f"{utils[tenants]:.2f}",
+            }
+        )
+    return FigureResult(
+        name=f"Tenant load vs allreduce design, shared thin-spine fabric "
+        f"({format_size(nbytes)} payload, us)",
+        rows=rows,
+        columns=["tenants"] + list(algorithms) + ["best", "peak-util"],
+        meta={
+            "data": data,
+            "peak_utils": utils,
+            "scale": "8 shared nodes, 2x2-rank tenants, spread placement",
+        },
+    )
+
+
 #: CLI registry: name -> zero-argument callable.
 FIGURES: dict[str, Callable[[], FigureResult]] = {
     "fig1a": lambda: fig1_throughput("a"),
@@ -508,4 +588,5 @@ FIGURES: dict[str, Callable[[], FigureResult]] = {
     "fig11bc": fig11bc_miniamr,
     "model": model_validation,
     "ablation": ablation_pipeline,
+    "traffic": traffic_tenancy,
 }

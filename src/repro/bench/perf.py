@@ -80,6 +80,8 @@ __all__ = [
     "SCENARIOS",
     "SCALE_SCENARIOS",
     "STORE_SCENARIOS",
+    "TRAFFIC_SCENARIOS",
+    "TRAFFIC_MAX_WALL",
     "SCALE_MAX_WALL",
     "SCALE_MIN_MACRO_PER_POINT",
     "SCALE_MAX_EVENTS_PER_RANK",
@@ -208,6 +210,65 @@ def _store_spec():
 #: cold then warm through a throwaway store; the warm pass is gated to
 #: execute zero points.
 STORE_SCENARIOS = {"store_fig5": _store_spec}
+
+
+def _traffic_trace():
+    """The tiny Poisson stream the ``traffic_smoke`` scenario replays."""
+    from repro.traffic.workload import poisson_trace
+
+    return poisson_trace(jobs=6, rate=3e4, seed=11)
+
+
+#: Multi-tenant traffic scenarios: name -> trace factory.  Each trace
+#: runs once on a fresh fabric and once on a reused (reset) one; the
+#: canonical TrafficResult JSON of the two passes is gated to be
+#: byte-identical, and each pass must finish under TRAFFIC_MAX_WALL.
+TRAFFIC_SCENARIOS = {"traffic_smoke": _traffic_trace}
+
+#: Wall-clock ceilings (seconds) per traffic pass.  Measured well under
+#: a second on a dev box; generous headroom for noisy CI runners.
+TRAFFIC_MAX_WALL = {"traffic_smoke": 30.0}
+
+
+def _run_traffic_scenario(trace) -> dict:
+    """Fresh + reused-fabric traffic runs; deterministic replay record."""
+    import dataclasses
+
+    from repro.machine.fattree import FatTreeConfig
+    from repro.traffic.fabric import SharedFabric
+    from repro.traffic.runner import run_traffic
+
+    nodes = max(1, 2 * trace.max_nodes())
+    config = dataclasses.replace(
+        get_cluster("a", nodes),
+        topology=FatTreeConfig(nodes_per_leaf=2, spines=2),
+    )
+    t0 = time.perf_counter()
+    fresh = run_traffic(
+        trace, config=config, placement="spread", sanitize=True
+    )
+    wall_fresh = time.perf_counter() - t0
+    fabric = SharedFabric(config, sanitize=True)
+    run_traffic(trace, fabric=fabric, placement="spread")  # dirty the fabric
+    t0 = time.perf_counter()
+    reused = run_traffic(trace, fabric=fabric, placement="spread")
+    wall_reused = time.perf_counter() - t0
+    return {
+        "trace_hash": trace.trace_hash(),
+        "n_jobs": fresh.n_jobs,
+        "nodes": fresh.nodes,
+        "placement": fresh.placement,
+        "elapsed": fresh.elapsed,
+        "n_samples": len(fresh.series),
+        "total_queue_wait": round(
+            sum(job.queue_wait for job in fresh.jobs), 12
+        ),
+        "fresh": {"wall_seconds": round(wall_fresh, 6)},
+        "reused": {"wall_seconds": round(wall_reused, 6)},
+        "byte_identical": (
+            fresh.to_canonical_json() == reused.to_canonical_json()
+        ),
+    }
 
 
 def _run_store_scenario(spec) -> dict:
@@ -361,12 +422,23 @@ def run_perf(scenarios: Optional[list[str]] = None, progress=None) -> dict:
     if scenarios:
         names = list(scenarios)
     else:
-        names = list(SCENARIOS) + list(SCALE_SCENARIOS) + list(STORE_SCENARIOS)
+        names = (
+            list(SCENARIOS)
+            + list(SCALE_SCENARIOS)
+            + list(STORE_SCENARIOS)
+            + list(TRAFFIC_SCENARIOS)
+        )
     out: dict = {"schema": 1, "suite": "repro.bench.perf", "scenarios": {}}
     for name in names:
         if name in STORE_SCENARIOS:
             record = _run_store_scenario(STORE_SCENARIOS[name]())
             out["scenarios"][name] = {"mode": "result-store", **record}
+            if progress is not None:
+                progress(name, None, record, None)
+            continue
+        if name in TRAFFIC_SCENARIOS:
+            record = _run_traffic_scenario(TRAFFIC_SCENARIOS[name]())
+            out["scenarios"][name] = {"mode": "traffic", **record}
             if progress is not None:
                 progress(name, None, record, None)
             continue
@@ -446,8 +518,16 @@ def gate_failures(report: dict) -> list[str]:
     present_store = [
         name for name in STORE_SCENARIOS if name in report["scenarios"]
     ]
+    present_traffic = [
+        name for name in TRAFFIC_SCENARIOS if name in report["scenarios"]
+    ]
     scenario = report["scenarios"].get(GATE_SCENARIO)
-    if scenario is None and not present_scale and not present_store:
+    if (
+        scenario is None
+        and not present_scale
+        and not present_store
+        and not present_traffic
+    ):
         return [f"gate scenario {GATE_SCENARIO!r} missing from report"]
     if scenario is not None:
         ratios = scenario["ratios"]
@@ -500,6 +580,25 @@ def gate_failures(report: dict) -> list[str]:
         if record["byte_identical"] is not True:
             failures.append(
                 f"{name}: warm canonical payload diverged from the cold run"
+            )
+    for name in present_traffic:
+        record = report["scenarios"][name]
+        ceiling = TRAFFIC_MAX_WALL[name]
+        for passname in ("fresh", "reused"):
+            wall = record[passname]["wall_seconds"]
+            if wall > ceiling:
+                failures.append(
+                    f"{name} {passname}: wall {wall:.2f}s over "
+                    f"ceiling {ceiling}s"
+                )
+        if record["byte_identical"] is not True:
+            failures.append(
+                f"{name}: reused-fabric replay diverged from the fresh run"
+            )
+        if record["n_samples"] < 1:
+            failures.append(
+                f"{name}: metering produced no samples — the scraper "
+                f"never fired"
             )
     return failures
 
@@ -566,7 +665,12 @@ def main(args) -> int:
     import sys
 
     scenarios = [args.target] if args.target else None
-    known = {**SCENARIOS, **SCALE_SCENARIOS, **STORE_SCENARIOS}
+    known = {
+        **SCENARIOS,
+        **SCALE_SCENARIOS,
+        **STORE_SCENARIOS,
+        **TRAFFIC_SCENARIOS,
+    }
     if scenarios and scenarios[0] not in known:
         print(
             f"unknown perf scenario {scenarios[0]!r}; "
@@ -576,6 +680,15 @@ def main(args) -> int:
         return 2
 
     def progress(name, point, first, second):
+        if point is None and "trace_hash" in first:
+            print(
+                f"  [{name}] {first['n_jobs']} jobs on {first['nodes']} "
+                f"nodes: fresh {first['fresh']['wall_seconds']:.3f}s, "
+                f"reused {first['reused']['wall_seconds']:.3f}s, "
+                f"byte-identical {first['byte_identical']}",
+                file=sys.stderr,
+            )
+            return
         if point is None:
             print(
                 f"  [{name}] {first['n_points']} points: "
@@ -619,6 +732,16 @@ def main(args) -> int:
                 f"byte-identical {scenario['byte_identical']}"
             )
             continue
+        if scenario.get("mode") == "traffic":
+            print(
+                f"{name}: {scenario['n_jobs']} jobs / "
+                f"{scenario['nodes']} nodes ({scenario['placement']}), "
+                f"sim elapsed {scenario['elapsed']:.3e}s, "
+                f"fresh {scenario['fresh']['wall_seconds']:.2f}s, "
+                f"reused {scenario['reused']['wall_seconds']:.2f}s, "
+                f"byte-identical {scenario['byte_identical']}"
+            )
+            continue
         if scenario.get("mode") == "hybrid-scale":
             for r in scenario["points"]:
                 print(
@@ -653,6 +776,7 @@ def main(args) -> int:
                     [GATE_SCENARIO]
                     + list(SCALE_SCENARIOS)
                     + list(STORE_SCENARIOS)
+                    + list(TRAFFIC_SCENARIOS)
                 )
                 if name in report["scenarios"]
             ]

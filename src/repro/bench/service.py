@@ -93,6 +93,7 @@ class SweepService:
         self._tasks: list[asyncio.Task] = []
         self._pool: Optional[ThreadPoolExecutor] = None
         self._local = threading.local()
+        self._draining = False
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -110,6 +111,27 @@ class SweepService:
             for i in range(self.workers)
         ]
         return self
+
+    async def drain(self) -> None:
+        """Graceful shutdown: refuse new sweeps, finish admitted work.
+
+        Flips the service into draining mode (further :meth:`run_sweep`
+        calls raise :class:`~repro.errors.ReproError`), waits for every
+        queued and in-flight point to execute and resolve its future,
+        then :meth:`close`\\ s — so results already promised to callers
+        are delivered, never dropped.  A drained service stays refusing;
+        build a fresh one to serve again.
+        """
+        self._draining = True
+        if self._queue is not None:
+            # All admitted points: workers mark task_done() only after
+            # resolving the point's future, so join() means delivered.
+            await self._queue.join()
+        if self._inflight:  # pragma: no cover - belt over join()
+            await asyncio.gather(
+                *list(self._inflight.values()), return_exceptions=True
+            )
+        await self.close()
 
     async def close(self) -> None:
         """Stop the workers, shut the pool down, flush store counters."""
@@ -142,6 +164,10 @@ class SweepService:
         :class:`~repro.bench.executor.SerialExecutor` run of the same
         spec — with request telemetry in ``meta["service"]``.
         """
+        if self._draining:
+            raise ReproError(
+                "SweepService is draining: no new sweep requests accepted"
+            )
         await self.start()
         loop = asyncio.get_running_loop()
         t0 = time.perf_counter()
@@ -307,13 +333,18 @@ async def _demo(
     max_pending: int,
 ) -> dict:
     specs = demo_specs(requests)
-    async with SweepService(
+    service = SweepService(
         store=store, workers=workers, max_pending=max_pending
-    ) as service:
+    )
+    await service.start()
+    try:
         results = await asyncio.gather(
             *(service.run_sweep(spec) for spec in specs)
         )
         counters = dict(service.counters)
+    finally:
+        # Graceful: deliver everything admitted, then shut down.
+        await service.drain()
     # Every request's canonical payload must match a serial reference
     # (computed once per distinct spec, store bypassed).
     serial = SerialExecutor()

@@ -371,13 +371,16 @@ class ResultStore:
         older_than: Optional[float] = None,
         max_bytes: Optional[int] = None,
         now: Optional[float] = None,
+        dry_run: bool = False,
     ) -> dict:
         """Evict blobs by age and/or total size; returns what happened.
 
         ``older_than`` (seconds) drops every blob whose mtime is older
         than ``now - older_than``.  ``max_bytes`` then evicts
         oldest-first until the remainder fits.  Both criteria compose;
-        with neither this is a no-op report.
+        with neither this is a no-op report.  ``dry_run`` runs the same
+        selection but unlinks nothing — the report shows what *would*
+        be evicted (``evicted_bytes`` sums the selected sizes).
         """
         entries = list(self.entries())
         now = time.time() if now is None else now
@@ -396,18 +399,22 @@ class ResultStore:
                 total -= victim.size
                 evict.append(victim)
         evicted_bytes = 0
-        for entry in evict:
-            try:
-                entry.path.unlink()
-                evicted_bytes += entry.size
-            except OSError:
-                pass
+        if dry_run:
+            evicted_bytes = sum(e.size for e in evict)
+        else:
+            for entry in evict:
+                try:
+                    entry.path.unlink()
+                    evicted_bytes += entry.size
+                except OSError:
+                    pass
         return {
             "root": str(self.root),
             "scanned": len(entries),
             "evicted": len(evict),
             "evicted_bytes": evicted_bytes,
             "remaining": len(entries) - len(evict),
+            "dry_run": dry_run,
         }
 
     # -- counters ------------------------------------------------------------

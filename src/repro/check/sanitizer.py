@@ -337,6 +337,17 @@ class Sanitizer:
             self._raise()
         return self.reports
 
+    def check_runtime(self, runtime) -> None:
+        """Leak-check one runtime without latching the finalize state.
+
+        Multi-tenant traffic runs share one simulator across several
+        runtimes; the scheduler calls this per tenant and then
+        :meth:`finalize` once (with no runtime) to apply strict mode.
+        """
+        self._check_matchers(runtime)
+        self._check_gates(runtime)
+        self._check_shm(runtime)
+
     def check(self) -> None:
         """Raise :class:`SanitizerError` if any report was recorded."""
         if self.reports:

@@ -168,6 +168,11 @@ class FaultError(ReproError):
     malformed JSON schema, ...)."""
 
 
+class TrafficError(ReproError):
+    """Invalid multi-tenant traffic input (malformed trace schema,
+    unknown placement policy, a job wider than the shared fabric, ...)."""
+
+
 class SanitizerError(ReproError):
     """A sanitized run finished with invariant violations.
 

@@ -57,6 +57,13 @@ class FaultInjector:
     seed:
         Realisation seed for the stochastic arrival patterns.  The same
         ``(plan, seed)`` always realises the same schedule.
+    nodes_total:
+        Size of the node namespace the plan's node/edge indices live in.
+        Defaults to the job's own node span (the classic whole-machine
+        case).  Multi-tenant runs (:mod:`repro.traffic`) pass the shared
+        fabric's node count, because a tenant's node set is a sparse
+        subset — a fabric-wide plan may legitimately name nodes the
+        tenant never touches.
     """
 
     def __init__(
@@ -65,6 +72,8 @@ class FaultInjector:
         nranks: int,
         node_of: Callable[[int], int],
         seed: int = 0,
+        *,
+        nodes_total: Optional[int] = None,
     ):
         if nranks <= 0:
             raise FaultError(f"nranks must be positive, got {nranks}")
@@ -79,10 +88,13 @@ class FaultInjector:
         self.seed = seed
         self._node_of = [node_of(r) for r in range(nranks)]
         max_node = plan.max_node_referenced()
-        if max_node is not None and max_node > max(self._node_of):
+        node_limit = (
+            max(self._node_of) if nodes_total is None else nodes_total - 1
+        )
+        if max_node is not None and max_node > node_limit:
             raise FaultError(
                 f"fault plan references node {max_node} but the job uses "
-                f"only nodes 0..{max(self._node_of)}"
+                f"only nodes 0..{node_limit}"
             )
 
         # Static windows (realisation-seed independent).

@@ -139,6 +139,12 @@ class Runtime:
         #: algorithms cannot silently defeat macro-charging.
         self.hybrid_plan_fallbacks: dict[str, int] = {}
         self.transport = Transport(machine)
+        #: Prefix for shared-memory region (and spawned process) names.
+        #: Empty for classic one-job-per-simulator runs; the traffic
+        #: scheduler sets a per-tenant prefix so concurrent jobs sharing
+        #: a simulator keep distinct names in sanitizer ledgers and
+        #: wait graphs.
+        self.namespace = ""
         self._context_counter = itertools.count(1)
         self._world_group = Group(range(machine.nranks), context=0)
         self._shm_regions: dict[int, ShmRegion] = {}
@@ -172,7 +178,7 @@ class Runtime:
         region = self._shm_regions.get(node)
         if region is None:
             region = self._shm_regions[node] = ShmRegion(
-                self.sim, name=f"node{node}"
+                self.sim, name=f"{self.namespace}node{node}"
             )
         return region
 
@@ -377,20 +383,30 @@ class Runtime:
         self.reset()
         self._world_group = Group(manager.surviving_ranks(machine), context=0)
 
-    def _launch_attempt(
+    def spawn(
         self,
         fn: RankFn,
-        args,
-        kwargs,
+        *,
+        args: Sequence = (),
+        kwargs: Optional[dict] = None,
         start_delay: float = 0.0,
-    ) -> "JobResult":
-        """One simulation of ``fn`` on the current world group."""
+    ) -> dict:
+        """Create one process per world rank *without* running the simulator.
+
+        Returns ``{world rank: Process}``.  This is the launch path with
+        the event loop factored out: :meth:`launch` spawns and then
+        drives ``sim.run()`` itself, while the multi-tenant traffic
+        scheduler (:mod:`repro.traffic`) spawns several jobs' ranks into
+        one shared simulator and owns the single ``run()`` call.  Fault
+        arrival skew is applied here, on top of ``start_delay``, so both
+        paths realise process-arrival patterns identically.
+        """
+        kwargs = kwargs or {}
         machine = self.machine
         faults = machine.faults
         skewed = faults is not None and faults.has_arrival_skew
-        members = self._world_group.ranks
         procs = {}
-        for rank in members:
+        for rank in self._world_group.ranks:
             comm = Comm(self, self._world_group, rank)
             gen = fn(comm, *args, **kwargs)
             if not hasattr(gen, "send"):
@@ -403,7 +419,24 @@ class Runtime:
                 delay += faults.arrival_delay(rank)
             if delay > 0.0:
                 gen = _skewed_start(self.sim, delay, gen)
-            procs[rank] = self.sim.process(gen, name=f"rank{rank}")
+            procs[rank] = self.sim.process(
+                gen, name=f"{self.namespace}rank{rank}"
+            )
+        return procs
+
+    def _launch_attempt(
+        self,
+        fn: RankFn,
+        args,
+        kwargs,
+        start_delay: float = 0.0,
+    ) -> "JobResult":
+        """One simulation of ``fn`` on the current world group."""
+        machine = self.machine
+        faults = machine.faults
+        procs = self.spawn(
+            fn, args=args, kwargs=kwargs, start_delay=start_delay
+        )
         sanitizer = getattr(self.sim, "sanitizer", None)
         if sanitizer is not None:
             sanitizer.begin_run()

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro.traffic``.
+
+Multi-tenant traffic tooling:
+
+* ``run`` — drive a job trace (from a file, or a generated Poisson
+  stream) onto one shared fabric and print the run summary; ``--output``
+  writes the canonical :class:`~repro.traffic.metering.TrafficResult`
+  JSON (byte-stable: the CI smoke job runs this twice and ``cmp``'s);
+* ``describe`` — parse a trace file and summarise its job stream;
+* ``example`` — emit a ready-to-edit example trace (the default
+  application mix as an explicit JSON job list).
+
+The fabric defaults to the ``--cluster`` preset sized to twice the
+trace's widest job; ``--leaf-nodes``/``--spines`` attach a two-level
+fat tree so jobs contend on leaf/spine links, and ``--faults`` applies
+a :mod:`repro.faults` plan fabric-wide (degraded fabric under load).
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+
+from repro.errors import FaultError, TrafficError
+from repro.machine.clusters import get_cluster
+from repro.machine.fattree import FatTreeConfig
+from repro.traffic.placement import PLACEMENT_POLICIES
+from repro.traffic.runner import DEFAULT_INTERVAL, run_traffic
+from repro.traffic.workload import TrafficTrace, default_mix, poisson_trace
+
+__all__ = ["main"]
+
+
+def _load_trace(args: argparse.Namespace) -> TrafficTrace:
+    if args.trace is not None:
+        try:
+            return TrafficTrace.load(args.trace)
+        except FileNotFoundError:
+            raise SystemExit(f"no such trace file: {args.trace}")
+        except TrafficError as e:
+            raise SystemExit(f"invalid traffic trace {args.trace}: {e}")
+    try:
+        return poisson_trace(
+            jobs=args.poisson, rate=args.rate, seed=args.trace_seed
+        )
+    except TrafficError as e:
+        raise SystemExit(f"cannot generate Poisson trace: {e}")
+
+
+def _build_config(args: argparse.Namespace, trace: TrafficTrace):
+    nodes = args.nodes
+    if nodes is None:
+        nodes = max(1, 2 * trace.max_nodes())
+    config = get_cluster(args.cluster, nodes=nodes)
+    if args.leaf_nodes is not None:
+        config = dataclasses.replace(
+            config,
+            topology=FatTreeConfig(
+                nodes_per_leaf=args.leaf_nodes, spines=args.spines
+            ),
+        )
+    return config
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    trace = _load_trace(args)
+    config = _build_config(args, trace)
+    faults = None
+    if args.faults is not None:
+        from repro.faults.plan import FaultPlan
+
+        try:
+            faults = FaultPlan.load(args.faults)
+        except FileNotFoundError:
+            raise SystemExit(f"no such fault plan file: {args.faults}")
+        except FaultError as e:
+            raise SystemExit(f"invalid fault plan {args.faults}: {e}")
+    try:
+        result = run_traffic(
+            trace,
+            config=config,
+            placement=args.placement,
+            seed=args.seed,
+            interval=args.interval,
+            sanitize=True if args.sanitize else None,
+            faults=faults,
+            fault_seed=args.fault_seed,
+        )
+    except TrafficError as e:
+        raise SystemExit(f"traffic run failed: {e}")
+    if args.output is not None:
+        with open(args.output, "w") as fh:
+            fh.write(result.to_canonical_json())
+        print(f"wrote canonical result to {args.output}")
+    print(result.describe())
+    return 0
+
+
+def _cmd_describe(args: argparse.Namespace) -> int:
+    print(_load_trace(args).describe())
+    return 0
+
+
+def _cmd_example(args: argparse.Namespace) -> int:
+    jobs = []
+    arrival = 0.0
+    for template in default_mix():
+        jobs.append({"arrival": round(arrival, 9), **template})
+        arrival += args.gap
+    trace = TrafficTrace.from_dict({"jobs": jobs})
+    print(trace.to_json())
+    return 0
+
+
+def _add_trace_source(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--trace", default=None, help="path to a traffic trace JSON file"
+    )
+    p.add_argument(
+        "--poisson", type=int, default=8, metavar="JOBS",
+        help="generate a Poisson stream of this many jobs instead "
+        "(ignored when --trace is given; default 8)",
+    )
+    p.add_argument(
+        "--rate", type=float, default=20000.0,
+        help="Poisson arrival rate, jobs per simulated second",
+    )
+    p.add_argument(
+        "--trace-seed", type=int, default=0,
+        help="seed for the generated Poisson stream",
+    )
+
+
+def main(argv: "list[str] | None" = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-traffic",
+        description="Run multi-tenant traffic traces on one shared fabric.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("run", help="run a trace on a shared fabric")
+    _add_trace_source(p)
+    p.add_argument(
+        "--cluster", default="b", help="cluster preset (a..d; default b)"
+    )
+    p.add_argument(
+        "--nodes", type=int, default=None,
+        help="fabric width (default: twice the trace's widest job)",
+    )
+    p.add_argument(
+        "--leaf-nodes", type=int, default=None, metavar="N",
+        help="attach a fat tree with N nodes per leaf switch",
+    )
+    p.add_argument(
+        "--spines", type=int, default=2,
+        help="spine switches for --leaf-nodes (default 2)",
+    )
+    p.add_argument(
+        "--placement", default="packed", choices=PLACEMENT_POLICIES,
+        help="node placement policy",
+    )
+    p.add_argument(
+        "--seed", type=int, default=0,
+        help="scheduler seed (random placement draws)",
+    )
+    p.add_argument(
+        "--interval", type=float, default=DEFAULT_INTERVAL,
+        help="scraper sampling cadence in simulated seconds",
+    )
+    p.add_argument(
+        "--sanitize", action="store_true",
+        help="run under the strict invariant sanitizer",
+    )
+    p.add_argument(
+        "--faults", default=None,
+        help="fault plan JSON applied fabric-wide during the run",
+    )
+    p.add_argument(
+        "--fault-seed", type=int, default=0,
+        help="base realisation seed for --faults (job i uses seed+i)",
+    )
+    p.add_argument(
+        "--output", default=None,
+        help="write the canonical TrafficResult JSON here",
+    )
+    p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser("describe", help="summarise a trace")
+    _add_trace_source(p)
+    p.set_defaults(func=_cmd_describe)
+
+    p = sub.add_parser("example", help="emit an example trace JSON")
+    p.add_argument(
+        "--gap", type=float, default=5e-5,
+        help="arrival gap between the example jobs (simulated seconds)",
+    )
+    p.set_defaults(func=_cmd_example)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

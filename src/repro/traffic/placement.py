@@ -1,0 +1,105 @@
+"""Per-job placement policies on the shared fabric.
+
+A policy maps one arriving job's node demand onto a disjoint subset of
+the fabric's currently-free nodes (or declines, parking the job in the
+FIFO backlog).  All four policies are deterministic given the free set
+and — for ``random`` — the scheduler's seeded generator, so a
+``(trace, seed, placement)`` triple replays bit-identically.
+
+* ``packed`` — lowest-numbered free nodes first: the classic
+  fill-from-the-front batch-scheduler shape, maximising inter-job
+  sharing of leaf uplinks;
+* ``spread`` — round-robins nodes across leaf switches, the
+  load-balancing shape that spreads every tenant over the whole fabric
+  (and thus over everyone else's traffic);
+* ``random`` — a seeded uniform draw without replacement, the
+  fragmented-cluster baseline;
+* ``leader-aware`` — packs the job into as *few* leaves as possible
+  (fullest-free leaves first): DPML's leaders generate the inter-node
+  traffic, so co-locating a tenant under few leaves keeps its leader
+  exchange off the shared spine links.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import TrafficError
+
+__all__ = ["PLACEMENT_POLICIES", "place_job"]
+
+#: Closed placement-policy vocabulary.
+PLACEMENT_POLICIES = ("packed", "spread", "random", "leader-aware")
+
+
+def place_job(
+    policy: str,
+    free: set[int],
+    nodes_needed: int,
+    *,
+    leaf_of,
+    leaves: int,
+    rng: Optional[np.random.Generator] = None,
+) -> Optional[tuple[int, ...]]:
+    """Pick ``nodes_needed`` free nodes under ``policy``.
+
+    Returns a sorted node tuple, or ``None`` when the free set is too
+    small (the scheduler then queues the job).  ``leaf_of``/``leaves``
+    come from the fabric (a flat fabric is one leaf, making ``spread``
+    and ``leader-aware`` degenerate to ``packed``).  ``rng`` is the
+    scheduler's seeded generator, consulted only by ``random`` — and
+    consulted exactly once per placement *decision*, so the draw
+    sequence is a pure function of the decision sequence.
+    """
+    if policy not in PLACEMENT_POLICIES:
+        raise TrafficError(
+            f"unknown placement policy {policy!r}; choose from "
+            f"{PLACEMENT_POLICIES}"
+        )
+    if nodes_needed > len(free):
+        return None
+    ordered = sorted(free)
+    if policy == "packed":
+        chosen = ordered[:nodes_needed]
+    elif policy == "random":
+        if rng is None:
+            raise TrafficError("random placement needs the scheduler's rng")
+        picks = rng.choice(len(ordered), size=nodes_needed, replace=False)
+        chosen = sorted(ordered[int(i)] for i in picks)
+    else:
+        by_leaf: dict[int, list[int]] = {leaf: [] for leaf in range(leaves)}
+        for node in ordered:
+            by_leaf[leaf_of(node)].append(node)
+        if policy == "spread":
+            # Breadth-first over leaves: one node per leaf per round.
+            chosen = []
+            depth = 0
+            while len(chosen) < nodes_needed:
+                took = False
+                for leaf in range(leaves):
+                    bucket = by_leaf[leaf]
+                    if depth < len(bucket):
+                        chosen.append(bucket[depth])
+                        took = True
+                        if len(chosen) == nodes_needed:
+                            break
+                if not took:  # pragma: no cover - len(free) check above
+                    return None
+                depth += 1
+            chosen.sort()
+        else:  # leader-aware: fewest leaves, fullest-free leaves first
+            ranked = sorted(
+                by_leaf.items(), key=lambda kv: (-len(kv[1]), kv[0])
+            )
+            chosen = []
+            for _, bucket in ranked:
+                for node in bucket:
+                    chosen.append(node)
+                    if len(chosen) == nodes_needed:
+                        break
+                if len(chosen) == nodes_needed:
+                    break
+            chosen.sort()
+    return tuple(chosen)

@@ -1,0 +1,117 @@
+"""One-call traffic runs: trace + fabric -> canonical :class:`TrafficResult`.
+
+:func:`run_traffic` wires the pieces together — build (or reuse) a
+:class:`~repro.traffic.fabric.SharedFabric`, register the
+:class:`~repro.traffic.scheduler.TrafficScheduler` dispatcher and the
+:class:`~repro.traffic.metering.Scraper`, drive the one shared
+``sim.run()``, then leak-check every tenant runtime and assemble the
+result.  Determinism contract: the same ``(trace, seed, placement)``
+on a fresh fabric and on a :meth:`SharedFabric.reset` one produce
+byte-identical :meth:`TrafficResult.to_canonical_json` output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import TrafficError
+from repro.machine.clusters import get_cluster
+from repro.machine.config import MachineConfig
+from repro.traffic.fabric import SharedFabric
+from repro.traffic.metering import Scraper, TrafficResult
+from repro.traffic.scheduler import TrafficScheduler
+from repro.traffic.workload import TrafficTrace
+
+__all__ = ["run_traffic"]
+
+#: Default scraper cadence: 100 simulated microseconds, a few samples
+#: per small collective-heavy job on the cluster presets.
+DEFAULT_INTERVAL = 1e-4
+
+
+def run_traffic(
+    trace: TrafficTrace,
+    *,
+    config: Optional[MachineConfig] = None,
+    cluster: str = "b",
+    nodes: Optional[int] = None,
+    placement: str = "packed",
+    seed: int = 0,
+    interval: float = DEFAULT_INTERVAL,
+    sanitize=None,
+    faults=None,
+    fault_seed: int = 0,
+    fidelity: Optional[str] = "exact",
+    fabric: Optional[SharedFabric] = None,
+) -> TrafficResult:
+    """Run one multi-tenant traffic trace on a shared fabric.
+
+    The fabric comes from (first match wins): ``fabric`` — an existing
+    :class:`SharedFabric`, reset and reused (the session idiom);
+    ``config`` — an explicit :class:`MachineConfig` (resized by
+    ``nodes`` when given); else the ``cluster`` preset sized to
+    ``nodes`` (default: twice the trace's widest job, so the schedule
+    actually multiplexes).  ``sanitize`` installs the invariant
+    sanitizer on the shared simulator; with a fault plan in ``faults``
+    the fabric degrades *under load* (see :mod:`repro.faults`).
+    """
+    if fabric is None:
+        if config is None:
+            if nodes is None:
+                nodes = max(1, 2 * trace.max_nodes())
+            config = get_cluster(cluster, nodes=nodes)
+        elif nodes is not None:
+            config = config.with_nodes(nodes)
+        fabric = SharedFabric(config, sanitize=sanitize)
+    elif sanitize is not None:
+        from repro.check.sanitizer import as_sanitizer
+
+        fabric.sim.sanitizer = as_sanitizer(sanitize)
+    # Always start from the pristine state: a no-op on a fresh fabric,
+    # and exactly what makes reuse bit-identical to a cold build.
+    fabric.reset()
+
+    scheduler = TrafficScheduler(
+        fabric,
+        trace,
+        placement=placement,
+        seed=seed,
+        faults=faults,
+        fault_seed=fault_seed,
+        fidelity=fidelity,
+    )
+    scraper = Scraper(fabric, scheduler, interval)
+    # Scraper first: its AnyOf must be armed before an empty trace's
+    # done_event fires at t=0.
+    fabric.sim.process(scraper.process(), name="traffic-scraper")
+    scheduler.start()
+
+    sanitizer = getattr(fabric.sim, "sanitizer", None)
+    if sanitizer is not None:
+        sanitizer.begin_run()
+    fabric.sim.run()
+    if not scheduler.done_event.triggered:  # pragma: no cover - invariant
+        raise TrafficError(
+            "simulator drained but the traffic schedule never completed"
+        )
+    if sanitizer is not None:
+        # Per-tenant leak checks, then one finalize to apply strict mode.
+        for record in scheduler.records:
+            if record is not None and record.runtime is not None:
+                sanitizer.check_runtime(record.runtime)
+        sanitizer.finalize()
+
+    records = [record for record in scheduler.records if record is not None]
+    elapsed = max((r.finished for r in records), default=0.0)
+    return TrafficResult(
+        trace_hash=trace.trace_hash(),
+        cluster=fabric.config.name,
+        nodes=fabric.nodes,
+        leaves=fabric.leaves,
+        placement=placement,
+        seed=seed,
+        interval=interval,
+        elapsed=elapsed,
+        jobs=records,
+        series=scraper.samples,
+    )

@@ -9,6 +9,7 @@ from repro.bench.perf import (
     MIN_BYTES_COPIED_RATIO,
     MIN_EVENTS_RATIO,
     SCENARIOS,
+    TRAFFIC_MAX_WALL,
     baseline_mismatches,
     gate_failures,
     run_perf,
@@ -88,6 +89,48 @@ class TestGate:
 
     def test_missing_scenario_fails(self):
         assert gate_failures({"scenarios": {}})
+
+
+class TestTrafficGate:
+    def _record(self, **overrides):
+        base = {
+            "trace_hash": "ab" * 32,
+            "n_jobs": 6,
+            "nodes": 4,
+            "placement": "spread",
+            "elapsed": 1.1e-3,
+            "n_samples": 12,
+            "total_queue_wait": 0.0,
+            "fresh": {"wall_seconds": 0.1},
+            "reused": {"wall_seconds": 0.1},
+            "byte_identical": True,
+        }
+        base.update(overrides)
+        return {"scenarios": {"traffic_smoke": base}}
+
+    def test_healthy_traffic_record_passes(self):
+        assert gate_failures(self._record()) == []
+
+    def test_replay_divergence_fails(self):
+        failures = gate_failures(self._record(byte_identical=False))
+        assert any("diverged" in f for f in failures)
+
+    def test_wall_over_ceiling_fails(self):
+        ceiling = TRAFFIC_MAX_WALL["traffic_smoke"]
+        failures = gate_failures(
+            self._record(reused={"wall_seconds": ceiling + 1})
+        )
+        assert any("over" in f and "ceiling" in f for f in failures)
+
+    def test_empty_series_fails(self):
+        failures = gate_failures(self._record(n_samples=0))
+        assert any("scraper" in f for f in failures)
+
+    def test_real_traffic_smoke_run_is_deterministic(self):
+        report = run_perf(["traffic_smoke"])
+        assert gate_failures(report) == []
+        again = run_perf(["traffic_smoke"])
+        assert strip_volatile(again) == strip_volatile(report)
 
 
 class TestBaseline:

@@ -117,6 +117,57 @@ class TestService:
                 spec
             ).to_json(include_meta=False)
 
+    def test_drain_delivers_then_refuses(self):
+        spec = tiny_spec()
+
+        async def go():
+            service = SweepService(workers=2)
+            await service.start()
+            result = await service.run_sweep(spec)
+            await service.drain()
+            with pytest.raises(ReproError, match="draining"):
+                await service.run_sweep(spec)
+            return service, result
+
+        service, result = run(go())
+        assert result.ok
+        # Fully shut down: no worker tasks, no thread pool, no queue.
+        assert service._tasks == []
+        assert service._pool is None
+        assert service._queue is None
+
+    def test_drain_waits_for_inflight_requests(self):
+        specs = [tiny_spec(), tiny_spec(sizes=(4096,), leader_counts=(2,))]
+
+        async def go():
+            service = SweepService(workers=2)
+            await service.start()
+            # Kick off sweeps concurrently, then drain while they run:
+            # drain must deliver every admitted point before closing.
+            tasks = [
+                asyncio.create_task(service.run_sweep(s)) for s in specs
+            ]
+            await asyncio.sleep(0)  # let the requests admit their points
+            await service.drain()
+            return await asyncio.gather(*tasks)
+
+        results = run(go())
+        assert all(r.ok for r in results)
+        references = [SerialExecutor().run(s) for s in specs]
+        for result, reference in zip(results, references):
+            assert result.to_json(include_meta=False) == reference.to_json(
+                include_meta=False
+            )
+
+    def test_drain_on_idle_service(self):
+        async def go():
+            service = SweepService(workers=1)
+            await service.drain()  # never started: still a clean no-op
+            return service
+
+        service = run(go())
+        assert service._queue is None
+
     def test_invalid_configuration_rejected(self):
         with pytest.raises(ReproError, match="workers"):
             SweepService(workers=0)

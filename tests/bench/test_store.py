@@ -252,6 +252,28 @@ class TestMaintenance:
         survivors = {e.key for e in store.entries()}
         assert survivors == {e.key for e in entries[2:]}
 
+    def test_gc_dry_run_evicts_nothing(self, tmp_path):
+        store = self._filled(tmp_path)
+        entries = sorted(store.entries(), key=lambda e: e.key)
+        for i, entry in enumerate(entries):
+            stamp = 1_000_000 + i
+            os.utime(entry.path, (stamp, stamp))
+        keep_bytes = sum(e.size for e in entries[2:])
+        report = store.gc(max_bytes=keep_bytes, dry_run=True)
+        # Same selection as the real pass, but nothing is unlinked.
+        assert report["dry_run"] is True
+        assert report["evicted"] == 2
+        assert report["evicted_bytes"] == sum(e.size for e in entries[:2])
+        assert {e.key for e in store.entries()} == {e.key for e in entries}
+        # The real pass then evicts exactly what the dry run promised.
+        real = store.gc(max_bytes=keep_bytes)
+        assert real["dry_run"] is False
+        assert real["evicted"] == report["evicted"]
+        assert real["evicted_bytes"] == report["evicted_bytes"]
+        assert {e.key for e in store.entries()} == {
+            e.key for e in entries[2:]
+        }
+
     def test_counters_persist_across_instances(self, tmp_path):
         store = self._filled(tmp_path)
         store.get(next(iter(spec_keys(tiny_spec()))))

@@ -1,0 +1,80 @@
+"""Placement policies: shapes, determinism, and refusal semantics."""
+
+import numpy as np
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic import PLACEMENT_POLICIES
+from repro.traffic.placement import place_job
+
+
+def leaf_of_4(node: int) -> int:
+    """8 nodes, 4 per leaf: nodes 0-3 on leaf 0, 4-7 on leaf 1."""
+    return node // 4
+
+
+def test_policy_vocabulary():
+    assert PLACEMENT_POLICIES == ("packed", "spread", "random", "leader-aware")
+
+
+def test_unknown_policy():
+    with pytest.raises(TrafficError, match="unknown placement"):
+        place_job("best-fit", {0, 1}, 1, leaf_of=leaf_of_4, leaves=2)
+
+
+def test_insufficient_free_returns_none():
+    for policy in PLACEMENT_POLICIES:
+        got = place_job(
+            policy, {0, 1}, 3, leaf_of=leaf_of_4, leaves=2,
+            rng=np.random.default_rng(0),
+        )
+        assert got is None
+
+
+def test_packed_takes_lowest():
+    assert place_job(
+        "packed", {5, 2, 7, 0}, 2, leaf_of=leaf_of_4, leaves=2
+    ) == (0, 2)
+
+
+def test_spread_round_robins_leaves():
+    got = place_job(
+        "spread", set(range(8)), 4, leaf_of=leaf_of_4, leaves=2
+    )
+    # Two nodes from each leaf, breadth-first.
+    assert got == (0, 1, 4, 5)
+    assert {leaf_of_4(n) for n in got} == {0, 1}
+
+
+def test_leader_aware_packs_fullest_leaf():
+    # Leaf 0 has 2 free, leaf 1 has 3 free: leader-aware fills leaf 1.
+    got = place_job(
+        "leader-aware", {0, 1, 4, 5, 6}, 3, leaf_of=leaf_of_4, leaves=2
+    )
+    assert got == (4, 5, 6)
+
+
+def test_random_needs_rng_and_is_seeded():
+    with pytest.raises(TrafficError, match="rng"):
+        place_job("random", set(range(8)), 2, leaf_of=leaf_of_4, leaves=2)
+    a = place_job(
+        "random", set(range(8)), 3, leaf_of=leaf_of_4, leaves=2,
+        rng=np.random.default_rng(7),
+    )
+    b = place_job(
+        "random", set(range(8)), 3, leaf_of=leaf_of_4, leaves=2,
+        rng=np.random.default_rng(7),
+    )
+    assert a == b
+    assert len(set(a)) == 3
+
+
+def test_all_policies_return_sorted_disjoint_subsets():
+    free = {1, 3, 4, 6, 7}
+    for policy in PLACEMENT_POLICIES:
+        got = place_job(
+            policy, set(free), 3, leaf_of=leaf_of_4, leaves=2,
+            rng=np.random.default_rng(1),
+        )
+        assert got == tuple(sorted(got))
+        assert set(got) <= free

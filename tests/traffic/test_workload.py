@@ -1,0 +1,143 @@
+"""Trace schema: validation, JSON round-trip, hashing, Poisson generator."""
+
+import json
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic import (
+    APP_KINDS,
+    JobSpec,
+    TrafficTrace,
+    default_mix,
+    poisson_trace,
+)
+
+
+def small_trace() -> TrafficTrace:
+    return TrafficTrace(
+        jobs=(
+            JobSpec(app="osu", arrival=0.0, nodes=2, ppn=4, nbytes=4096),
+            JobSpec(
+                app="sgd", arrival=1e-4, nodes=2, ppn=2, nbytes=65536,
+                iterations=2, algorithm="rabenseifner", name="train",
+            ),
+            JobSpec(app="hpcg", arrival=2e-4, nodes=1, ppn=4, leaders=2),
+        )
+    )
+
+
+class TestJobSpec:
+    def test_defaults(self):
+        job = JobSpec(app="osu", arrival=0.0, nodes=2, ppn=4)
+        assert job.nranks == 8
+        assert job.algorithm == "dpml"
+        assert job.label(3) == "osu#3"
+
+    def test_named_label(self):
+        job = JobSpec(app="sgd", arrival=0.0, nodes=1, ppn=1, name="train")
+        assert job.label(0) == "train#0"
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            {"app": "nope"},
+            {"arrival": -1.0},
+            {"nodes": 0},
+            {"ppn": 0},
+            {"nbytes": 2},
+            {"iterations": 0},
+            {"leaders": 0},
+        ],
+    )
+    def test_validation(self, bad):
+        kwargs = dict(app="osu", arrival=0.0, nodes=2, ppn=4)
+        kwargs.update(bad)
+        with pytest.raises(TrafficError):
+            JobSpec(**kwargs)
+
+    def test_apps_closed_vocabulary(self):
+        assert set(APP_KINDS) == {"osu", "sgd", "hpcg", "miniamr"}
+
+
+class TestTrace:
+    def test_round_trip(self):
+        trace = small_trace()
+        again = TrafficTrace.from_json(trace.to_json())
+        assert again == trace
+        assert again.trace_hash() == trace.trace_hash()
+
+    def test_hash_sensitive_to_content(self):
+        trace = small_trace()
+        other = TrafficTrace(jobs=trace.jobs[:-1])
+        assert other.trace_hash() != trace.trace_hash()
+
+    def test_arrivals_must_be_sorted(self):
+        with pytest.raises(TrafficError, match="non-decreasing"):
+            TrafficTrace(
+                jobs=(
+                    JobSpec(app="osu", arrival=1e-3, nodes=1, ppn=1),
+                    JobSpec(app="osu", arrival=0.0, nodes=1, ppn=1),
+                )
+            )
+
+    def test_unknown_fields_rejected(self):
+        data = json.loads(small_trace().to_json())
+        data["jobs"][0]["turbo"] = True
+        with pytest.raises(TrafficError, match="unknown"):
+            TrafficTrace.from_dict(data)
+        with pytest.raises(TrafficError, match="unknown"):
+            TrafficTrace.from_dict({"jobs": [], "extra": 1})
+
+    def test_max_nodes(self):
+        assert small_trace().max_nodes() == 2
+        assert TrafficTrace(jobs=()).max_nodes() == 0
+
+    def test_describe_mentions_every_job(self):
+        text = small_trace().describe()
+        assert "osu#0" in text and "train#1" in text and "hpcg#2" in text
+
+    def test_load(self, tmp_path):
+        path = tmp_path / "trace.json"
+        path.write_text(small_trace().to_json())
+        assert TrafficTrace.load(str(path)) == small_trace()
+
+
+class TestPoisson:
+    def test_deterministic(self):
+        a = poisson_trace(jobs=12, rate=1e4, seed=3)
+        b = poisson_trace(jobs=12, rate=1e4, seed=3)
+        assert a == b
+        assert a.trace_hash() == b.trace_hash()
+
+    def test_seed_changes_stream(self):
+        a = poisson_trace(jobs=12, rate=1e4, seed=3)
+        b = poisson_trace(jobs=12, rate=1e4, seed=4)
+        assert a.trace_hash() != b.trace_hash()
+
+    def test_arrivals_sorted_and_apps_from_mix(self):
+        trace = poisson_trace(jobs=20, rate=5e4, seed=0)
+        arrivals = [job.arrival for job in trace.jobs]
+        assert arrivals == sorted(arrivals)
+        assert {job.app for job in trace.jobs} <= set(APP_KINDS)
+
+    def test_custom_mix(self):
+        mix = [{"app": "osu", "nodes": 1, "ppn": 2, "weight": 1.0}]
+        trace = poisson_trace(jobs=5, rate=1e4, seed=1, mix=mix)
+        assert all(job.app == "osu" for job in trace.jobs)
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"jobs": 0, "rate": 1e4},
+            {"jobs": 4, "rate": 0.0},
+            {"jobs": 4, "rate": 1e4, "mix": []},
+            {"jobs": 4, "rate": 1e4, "mix": [{"app": "osu", "weight": -1.0}]},
+        ],
+    )
+    def test_validation(self, kwargs):
+        with pytest.raises(TrafficError):
+            poisson_trace(**kwargs)
+
+    def test_default_mix_covers_all_apps(self):
+        assert {t["app"] for t in default_mix()} == set(APP_KINDS)
